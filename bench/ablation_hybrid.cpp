@@ -1,0 +1,106 @@
+// Ablation of the post-search refinement stages (the paper's §IX "further
+// research" direction, implemented in core/refine): plain colony vs.
+// colony + hill climbing vs. the full hybrid (+ node promotion), and the
+// hill climber run directly on the LPL start (is the colony contributing
+// anything beyond its own refinement?).
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "baselines/longest_path.hpp"
+#include "bench_common.hpp"
+#include "core/refine.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+int main() {
+  using namespace acolay;
+
+  std::cout << "=== Ablation: hybrid refinement (paper §IX direction) ===\n";
+  const auto corpus = bench::make_paper_corpus(false, /*per_group=*/6);
+
+  enum Variant { kColony, kHybrid, kClimberOnly, kVariantCount };
+  const char* names[kVariantCount] = {
+      "colony (paper)", "colony + climb + promote", "hill climb from LPL"};
+
+  struct Cell {
+    support::Accumulator objective;
+    support::Accumulator width;
+    support::Accumulator height;
+    support::Accumulator dummies;
+    support::Accumulator runtime_ms;
+  };
+  std::vector<Cell> cells(kVariantCount);
+  std::mutex mutex;
+
+  support::parallel_for(
+      0, corpus.graphs.size() * kVariantCount, [&](std::size_t task) {
+        const auto variant = static_cast<Variant>(task % kVariantCount);
+        const std::size_t gi = task / kVariantCount;
+        const auto& g = corpus.graphs[gi];
+        core::AcoParams params;
+        params.seed = 5000 + gi;
+        params.num_threads = 1;
+        params.record_trace = false;
+        support::Stopwatch stopwatch;
+        layering::Layering layering;
+        switch (variant) {
+          case kColony:
+            layering = core::AntColony(g, params).run().layering;
+            break;
+          case kHybrid:
+            layering = core::hybrid_aco_layering(g, params).layering;
+            break;
+          case kClimberOnly: {
+            layering = baselines::longest_path_layering(g);
+            core::greedy_refine(g, layering);
+            break;
+          }
+          default:
+            return;
+        }
+        const double ms = stopwatch.elapsed_ms();
+        const auto metrics = layering::compute_metrics(g, layering);
+        const std::scoped_lock lock(mutex);
+        cells[variant].objective.add(metrics.objective);
+        cells[variant].width.add(metrics.width_incl_dummies);
+        cells[variant].height.add(static_cast<double>(metrics.height));
+        cells[variant].dummies.add(static_cast<double>(metrics.dummy_count));
+        cells[variant].runtime_ms.add(ms);
+      });
+
+  support::ConsoleTable table({"variant", "objective x1000", "width",
+                               "height", "dummies", "ms"});
+  support::CsvWriter csv;
+  csv.set_header(
+      {"variant", "objective", "width", "height", "dummies", "runtime_ms"});
+  for (int variant = 0; variant < kVariantCount; ++variant) {
+    const auto& cell = cells[static_cast<std::size_t>(variant)];
+    table.add_row({names[variant],
+                   support::ConsoleTable::num(1000.0 * cell.objective.mean(),
+                                              3),
+                   support::ConsoleTable::num(cell.width.mean(), 2),
+                   support::ConsoleTable::num(cell.height.mean(), 2),
+                   support::ConsoleTable::num(cell.dummies.mean(), 1),
+                   support::ConsoleTable::num(cell.runtime_ms.mean(), 2)});
+    csv.add_row({std::string(names[variant]), cell.objective.mean(),
+                 cell.width.mean(), cell.height.mean(), cell.dummies.mean(),
+                 cell.runtime_ms.mean()});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  csv.write_file("bench_results/ablation_hybrid.csv");
+
+  std::cout << "\nChecks:\n";
+  bench::check_claim("hybrid >= plain colony (refinement can only help)",
+                     cells[kHybrid].objective.mean(), ">=",
+                     cells[kColony].objective.mean());
+  bench::check_claim("hybrid >= pure hill climbing (colony adds value)",
+                     cells[kHybrid].objective.mean(), ">=",
+                     cells[kClimberOnly].objective.mean(),
+                     0.02 * cells[kClimberOnly].objective.mean());
+  std::cout << "CSV written to bench_results/ablation_hybrid.csv\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared plumbing for the figure benches: corpus construction banner,
+// experiment execution, claim reporting, and CSV output location.
+//
+// Every fig*_ binary reproduces one figure of the paper (see DESIGN.md §3):
+// it prints the per-group mean series the figure plots, writes
+// bench_results/<name>.csv, and evaluates the paper's qualitative claims
+// about the figure ("shape checks") against the measured values.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gen/corpus.hpp"
+#include "harness/experiment.hpp"
+#include "harness/figures.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace acolay::bench {
+
+inline gen::Corpus make_paper_corpus(bool full, std::size_t per_group = 8) {
+  const gen::CorpusParams params;  // seed 20070325, 1277 graphs
+  std::cout << (full ? "Corpus: full Rome-like substitute (1277 DAGs, "
+                       "19 groups, n=10..100 step 5, seed 20070325)\n"
+                     : "Corpus: stratified subsample (" +
+                           std::to_string(per_group) +
+                           " per group, 19 groups, seed 20070325)\n");
+  return full ? gen::make_corpus(params)
+              : gen::make_corpus_subsample(params, per_group);
+}
+
+/// Full corpus unless ACOLAY_BENCH_FAST is set (CI-friendly escape hatch).
+inline bool full_corpus_requested() {
+  return std::getenv("ACOLAY_BENCH_FAST") == nullptr;
+}
+
+inline harness::ExperimentResult run_figure_experiment(
+    const gen::Corpus& corpus, const std::vector<harness::Algorithm>& algs) {
+  support::Stopwatch stopwatch;
+  harness::ExperimentOptions opts;
+  const auto result = harness::run_corpus_experiment(corpus, algs, opts);
+  std::cout << "Measured " << corpus.graphs.size() << " graphs x "
+            << algs.size() << " algorithms in "
+            << support::ConsoleTable::num(stopwatch.elapsed_seconds(), 1)
+            << " s\n";
+  return result;
+}
+
+/// Prints one qualitative shape check: PASS when `lhs op rhs` with 'op'
+/// described by `relation` ("<=", "<", ">=" ...).
+inline void check_claim(const std::string& description, double lhs,
+                        const std::string& relation, double rhs,
+                        double tolerance = 0.0) {
+  bool ok = false;
+  if (relation == "<") ok = lhs < rhs + tolerance;
+  else if (relation == "<=") ok = lhs <= rhs + tolerance;
+  else if (relation == ">") ok = lhs > rhs - tolerance;
+  else if (relation == ">=") ok = lhs >= rhs - tolerance;
+  else if (relation == "~=") ok = std::abs(lhs - rhs) <= tolerance;
+  std::cout << (ok ? "  [shape PASS] " : "  [shape DIVERGES] ")
+            << description << "  (" << support::ConsoleTable::num(lhs, 3)
+            << " " << relation << " " << support::ConsoleTable::num(rhs, 3)
+            << ")\n";
+}
+
+}  // namespace acolay::bench

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 4: "Width of Ant Colony Layering Compared with
+// LPL and LPL with PL" — two panels (width including / excluding dummy
+// vertices) as a function of vertex count over the corpus.
+//
+// Paper claims (§VII): the ACO width is smaller than LPL's and matches
+// LPL+PL (including dummies); excluding dummies it is smaller still.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace acolay;
+  using harness::Algorithm;
+  using harness::Criterion;
+
+  std::cout << "=== Figure 4: width vs {LPL, LPL+PL, AntColony} ===\n";
+  const auto corpus = bench::make_paper_corpus(bench::full_corpus_requested());
+  const std::vector<Algorithm> algs{Algorithm::kLongestPath,
+                                    Algorithm::kLongestPathPromoted,
+                                    Algorithm::kAntColony};
+  const auto result = bench::run_figure_experiment(corpus, algs);
+
+  harness::print_series(std::cout, result, Criterion::kWidthInclDummies,
+                        "Figure 4 (top panel)");
+  harness::print_series(std::cout, result, Criterion::kWidthExclDummies,
+                        "Figure 4 (bottom panel)");
+
+  harness::write_series_csv("bench_results/fig4_width_incl.csv", result,
+                            Criterion::kWidthInclDummies);
+  harness::write_series_csv("bench_results/fig4_width_excl.csv", result,
+                            Criterion::kWidthExclDummies);
+
+  std::cout << "\nPaper shape checks (overall means):\n";
+  const double lpl =
+      harness::overall_mean(result, Algorithm::kLongestPath,
+                            Criterion::kWidthInclDummies);
+  const double lpl_pl =
+      harness::overall_mean(result, Algorithm::kLongestPathPromoted,
+                            Criterion::kWidthInclDummies);
+  const double aco = harness::overall_mean(result, Algorithm::kAntColony,
+                                           Criterion::kWidthInclDummies);
+  bench::check_claim("ACO width (incl) below LPL", aco, "<", lpl);
+  bench::check_claim("ACO width (incl) ~ LPL+PL", aco, "~=", lpl_pl,
+                     0.35 * lpl_pl);
+  const double aco_excl =
+      harness::overall_mean(result, Algorithm::kAntColony,
+                            Criterion::kWidthExclDummies);
+  bench::check_claim("ACO width excl dummies below incl", aco_excl, "<=",
+                     aco);
+  std::cout << "CSV written to bench_results/fig4_width_{incl,excl}.csv\n";
+  return 0;
+}

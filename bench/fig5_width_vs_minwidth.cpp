@@ -1,0 +1,53 @@
+// Reproduces paper Figure 5: "Width of Ant Colony Layering Compared with
+// MinWidth and MinWidth with PL" — width including/excluding dummies.
+//
+// Paper claims (§VII): including dummies, MinWidth+PL wins, ACO is a close
+// second, ahead of plain MinWidth; excluding dummies, MinWidth wins.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace acolay;
+  using harness::Algorithm;
+  using harness::Criterion;
+
+  std::cout
+      << "=== Figure 5: width vs {MinWidth, MinWidth+PL, AntColony} ===\n";
+  const auto corpus = bench::make_paper_corpus(bench::full_corpus_requested());
+  const std::vector<Algorithm> algs{Algorithm::kMinWidth,
+                                    Algorithm::kMinWidthPromoted,
+                                    Algorithm::kAntColony};
+  const auto result = bench::run_figure_experiment(corpus, algs);
+
+  harness::print_series(std::cout, result, Criterion::kWidthInclDummies,
+                        "Figure 5 (top panel)");
+  harness::print_series(std::cout, result, Criterion::kWidthExclDummies,
+                        "Figure 5 (bottom panel)");
+
+  harness::write_series_csv("bench_results/fig5_width_incl.csv", result,
+                            Criterion::kWidthInclDummies);
+  harness::write_series_csv("bench_results/fig5_width_excl.csv", result,
+                            Criterion::kWidthExclDummies);
+
+  std::cout << "\nPaper shape checks (overall means):\n";
+  const double mw = harness::overall_mean(result, Algorithm::kMinWidth,
+                                          Criterion::kWidthInclDummies);
+  const double mw_pl =
+      harness::overall_mean(result, Algorithm::kMinWidthPromoted,
+                            Criterion::kWidthInclDummies);
+  const double aco = harness::overall_mean(result, Algorithm::kAntColony,
+                                           Criterion::kWidthInclDummies);
+  // Paper §VII: "the winner is MinWidth combined by PL followed closely by
+  // the Ant Colony layering algorithm, which in turn shows better results
+  // than the MinWidth heuristic when run on its own" — the ordering is the
+  // claim.
+  bench::check_claim("MinWidth+PL wins (incl dummies)", mw_pl, "<=", aco);
+  bench::check_claim("ACO second, ahead of plain MinWidth", aco, "<=", mw);
+  const double mw_excl = harness::overall_mean(
+      result, Algorithm::kMinWidth, Criterion::kWidthExclDummies);
+  const double aco_excl = harness::overall_mean(
+      result, Algorithm::kAntColony, Criterion::kWidthExclDummies);
+  bench::check_claim("MinWidth wins excluding dummies", mw_excl, "<=",
+                     aco_excl);
+  std::cout << "CSV written to bench_results/fig5_width_{incl,excl}.csv\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 6: "Height and DVC of Ant Colony Layering
+// Compared with LPL and LPL with PL".
+//
+// Paper claims (§VII): LPL has minimal height; ACO layerings are 20–30%
+// taller; despite the stretching, ACO keeps roughly the LPL dummy count,
+// while LPL+PL achieves fewer dummies than ACO.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace acolay;
+  using harness::Algorithm;
+  using harness::Criterion;
+
+  std::cout << "=== Figure 6: height & DVC vs {LPL, LPL+PL, AntColony} ===\n";
+  const auto corpus = bench::make_paper_corpus(bench::full_corpus_requested());
+  const std::vector<Algorithm> algs{Algorithm::kLongestPath,
+                                    Algorithm::kLongestPathPromoted,
+                                    Algorithm::kAntColony};
+  const auto result = bench::run_figure_experiment(corpus, algs);
+
+  harness::print_series(std::cout, result, Criterion::kHeight,
+                        "Figure 6 (top panel)");
+  harness::print_series(std::cout, result, Criterion::kDummyCount,
+                        "Figure 6 (bottom panel)");
+
+  harness::write_series_csv("bench_results/fig6_height.csv", result,
+                            Criterion::kHeight);
+  harness::write_series_csv("bench_results/fig6_dvc.csv", result,
+                            Criterion::kDummyCount);
+
+  std::cout << "\nPaper shape checks (overall means):\n";
+  const double lpl_h = harness::overall_mean(
+      result, Algorithm::kLongestPath, Criterion::kHeight);
+  const double aco_h = harness::overall_mean(result, Algorithm::kAntColony,
+                                             Criterion::kHeight);
+  bench::check_claim("LPL height is minimal", lpl_h, "<=", aco_h);
+  bench::check_claim("ACO height within ~10-40% above LPL", aco_h, "<=",
+                     1.45 * lpl_h);
+  const double lpl_d = harness::overall_mean(
+      result, Algorithm::kLongestPath, Criterion::kDummyCount);
+  const double lpl_pl_d = harness::overall_mean(
+      result, Algorithm::kLongestPathPromoted, Criterion::kDummyCount);
+  const double aco_d = harness::overall_mean(result, Algorithm::kAntColony,
+                                             Criterion::kDummyCount);
+  bench::check_claim("ACO DVC within 50% of LPL DVC", aco_d, "~=", lpl_d,
+                     0.5 * lpl_d);
+  bench::check_claim("LPL+PL DVC below ACO DVC", lpl_pl_d, "<=", aco_d);
+  std::cout << "CSV written to bench_results/fig6_{height,dvc}.csv\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Figure 7: "Height and DVC of Ant Colony Layering
+// Compared with MinWidth and MinWidth with PL".
+//
+// Paper context (§VII + Fig. 7's axes): MinWidth trades height for width,
+// so its layerings are taller than ACO's; dummy counts are comparable.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace acolay;
+  using harness::Algorithm;
+  using harness::Criterion;
+
+  std::cout
+      << "=== Figure 7: height & DVC vs {MinWidth, MinWidth+PL, "
+         "AntColony} ===\n";
+  const auto corpus = bench::make_paper_corpus(bench::full_corpus_requested());
+  const std::vector<Algorithm> algs{Algorithm::kMinWidth,
+                                    Algorithm::kMinWidthPromoted,
+                                    Algorithm::kAntColony};
+  const auto result = bench::run_figure_experiment(corpus, algs);
+
+  harness::print_series(std::cout, result, Criterion::kHeight,
+                        "Figure 7 (top panel)");
+  harness::print_series(std::cout, result, Criterion::kDummyCount,
+                        "Figure 7 (bottom panel)");
+
+  harness::write_series_csv("bench_results/fig7_height.csv", result,
+                            Criterion::kHeight);
+  harness::write_series_csv("bench_results/fig7_dvc.csv", result,
+                            Criterion::kDummyCount);
+
+  std::cout << "\nPaper shape checks (overall means; heights compared on "
+               "the n >= 55 groups where the curves diverge):\n";
+  const double mw_h = harness::overall_mean(result, Algorithm::kMinWidth,
+                                            Criterion::kHeight, 55);
+  const double aco_h = harness::overall_mean(result, Algorithm::kAntColony,
+                                             Criterion::kHeight, 55);
+  bench::check_claim("MinWidth taller than ACO (width/height trade)", mw_h,
+                     ">=", aco_h);
+  const double mw_pl_d = harness::overall_mean(
+      result, Algorithm::kMinWidthPromoted, Criterion::kDummyCount);
+  const double mw_d = harness::overall_mean(result, Algorithm::kMinWidth,
+                                            Criterion::kDummyCount);
+  bench::check_claim("PL reduces MinWidth dummies", mw_pl_d, "<=", mw_d);
+  std::cout << "CSV written to bench_results/fig7_{height,dvc}.csv\n";
+  return 0;
+}

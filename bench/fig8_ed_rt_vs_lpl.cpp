@@ -1,0 +1,53 @@
+// Reproduces paper Figure 8: "Edge density and Running time of Ant Colony
+// Layering Compared with LPL and LPL with PL".
+//
+// Paper claims (§VII): ACO's edge density beats LPL and LPL+PL; running
+// time: LPL fastest, ACO slowest. (Edge density is reported both raw —
+// paper §II definition — and normalised per edge; see DESIGN.md deviation
+// 2. Running times are our hardware's, only the ordering is compared.)
+#include "bench_common.hpp"
+
+int main() {
+  using namespace acolay;
+  using harness::Algorithm;
+  using harness::Criterion;
+
+  std::cout << "=== Figure 8: edge density & runtime vs {LPL, LPL+PL, "
+               "AntColony} ===\n";
+  const auto corpus = bench::make_paper_corpus(bench::full_corpus_requested());
+  const std::vector<Algorithm> algs{Algorithm::kLongestPath,
+                                    Algorithm::kLongestPathPromoted,
+                                    Algorithm::kAntColony};
+  const auto result = bench::run_figure_experiment(corpus, algs);
+
+  harness::print_series(std::cout, result, Criterion::kEdgeDensity,
+                        "Figure 8 (top panel, raw)");
+  harness::print_series(std::cout, result, Criterion::kEdgeDensityNorm,
+                        "Figure 8 (top panel, normalised)");
+  harness::print_series(std::cout, result, Criterion::kRuntimeMs,
+                        "Figure 8 (bottom panel)");
+
+  harness::write_series_csv("bench_results/fig8_edge_density.csv", result,
+                            Criterion::kEdgeDensity);
+  harness::write_series_csv("bench_results/fig8_runtime_ms.csv", result,
+                            Criterion::kRuntimeMs);
+
+  std::cout << "\nPaper shape checks (overall means):\n";
+  const double lpl_ed = harness::overall_mean(
+      result, Algorithm::kLongestPath, Criterion::kEdgeDensity);
+  const double aco_ed = harness::overall_mean(result, Algorithm::kAntColony,
+                                              Criterion::kEdgeDensity);
+  bench::check_claim("ACO edge density better than LPL", aco_ed, "<=",
+                     lpl_ed);
+  const double lpl_rt = harness::overall_mean(
+      result, Algorithm::kLongestPath, Criterion::kRuntimeMs);
+  const double lpl_pl_rt = harness::overall_mean(
+      result, Algorithm::kLongestPathPromoted, Criterion::kRuntimeMs);
+  const double aco_rt = harness::overall_mean(result, Algorithm::kAntColony,
+                                              Criterion::kRuntimeMs);
+  bench::check_claim("LPL faster than LPL+PL", lpl_rt, "<=", lpl_pl_rt);
+  bench::check_claim("ACO slowest (metaheuristic cost)", aco_rt, ">=",
+                     lpl_pl_rt);
+  std::cout << "CSV written to bench_results/fig8_*.csv\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 9: "Edge density and Running time of Ant Colony
+// Layering Compared with MinWidth and MinWidth with PL".
+//
+// Paper claims (§VII): ACO's edge density lies between MinWidth's and
+// MinWidth+PL's; running time: MinWidth fast, ACO slowest but comparable
+// in order of magnitude to MinWidth+PL on the paper's setup.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace acolay;
+  using harness::Algorithm;
+  using harness::Criterion;
+
+  std::cout << "=== Figure 9: edge density & runtime vs {MinWidth, "
+               "MinWidth+PL, AntColony} ===\n";
+  const auto corpus = bench::make_paper_corpus(bench::full_corpus_requested());
+  const std::vector<Algorithm> algs{Algorithm::kMinWidth,
+                                    Algorithm::kMinWidthPromoted,
+                                    Algorithm::kAntColony};
+  const auto result = bench::run_figure_experiment(corpus, algs);
+
+  harness::print_series(std::cout, result, Criterion::kEdgeDensity,
+                        "Figure 9 (top panel, raw)");
+  harness::print_series(std::cout, result, Criterion::kEdgeDensityNorm,
+                        "Figure 9 (top panel, normalised)");
+  harness::print_series(std::cout, result, Criterion::kRuntimeMs,
+                        "Figure 9 (bottom panel)");
+
+  harness::write_series_csv("bench_results/fig9_edge_density.csv", result,
+                            Criterion::kEdgeDensity);
+  harness::write_series_csv("bench_results/fig9_runtime_ms.csv", result,
+                            Criterion::kRuntimeMs);
+
+  std::cout << "\nPaper shape checks (overall means):\n";
+  const double mw_ed = harness::overall_mean(result, Algorithm::kMinWidth,
+                                             Criterion::kEdgeDensity);
+  const double aco_ed = harness::overall_mean(result, Algorithm::kAntColony,
+                                              Criterion::kEdgeDensity);
+  bench::check_claim("ACO edge density near MinWidth band", aco_ed, "~=",
+                     mw_ed, 0.5 * mw_ed);
+  const double mw_rt = harness::overall_mean(result, Algorithm::kMinWidth,
+                                             Criterion::kRuntimeMs);
+  const double aco_rt = harness::overall_mean(result, Algorithm::kAntColony,
+                                              Criterion::kRuntimeMs);
+  bench::check_claim("MinWidth faster than ACO", mw_rt, "<=", aco_rt);
+  std::cout << "CSV written to bench_results/fig9_*.csv\n";
+  return 0;
+}

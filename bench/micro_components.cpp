@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of the acolay building blocks: the
+// baseline layering algorithms, the ACO inner-loop primitives (Algorithm 5
+// width updates, span refresh, a full ant walk), and the colony end to end
+// — the per-component cost behind the paper's Figure 8/9 running-time
+// curves.
+#include <benchmark/benchmark.h>
+
+#include "baselines/longest_path.hpp"
+#include "baselines/min_width.hpp"
+#include "baselines/network_simplex.hpp"
+#include "baselines/promote.hpp"
+#include "core/aco.hpp"
+#include "gen/random_dag.hpp"
+#include "layering/layer_widths.hpp"
+#include "layering/metrics.hpp"
+#include "layering/spans.hpp"
+
+namespace {
+
+using namespace acolay;
+
+graph::Digraph bench_graph(std::size_t n) {
+  support::Rng rng(n * 2654435761u + 1);
+  gen::GnmParams params;
+  params.num_vertices = n;
+  params.num_edges = static_cast<std::size_t>(1.3 * static_cast<double>(n));
+  return gen::random_dag(params, rng);
+}
+
+void BM_LongestPathLayering(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::longest_path_layering(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LongestPathLayering)->Range(16, 1024)->Complexity();
+
+void BM_MinWidthLayering(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::min_width_layering(g));
+  }
+}
+BENCHMARK(BM_MinWidthLayering)->Range(16, 256);
+
+void BM_PromoteLayering(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const auto base = baselines::longest_path_layering(g);
+  for (auto _ : state) {
+    auto l = base;
+    baselines::promote_layering(g, l);
+    benchmark::DoNotOptimize(l);
+  }
+}
+BENCHMARK(BM_PromoteLayering)->Range(16, 256);
+
+void BM_NetworkSimplex(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::network_simplex_layering(g));
+  }
+}
+BENCHMARK(BM_NetworkSimplex)->Range(16, 256);
+
+void BM_MetricsBundle(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const auto l = baselines::longest_path_layering(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layering::compute_metrics(g, l));
+  }
+}
+BENCHMARK(BM_MetricsBundle)->Range(16, 1024);
+
+void BM_Algorithm5WidthUpdate(benchmark::State& state) {
+  // One incremental move, the hot operation of the ant walk.
+  const auto g = bench_graph(100);
+  const auto stretched = core::stretch_layering(
+      g, baselines::longest_path_layering(g),
+      core::StretchMode::kBetweenLayers);
+  layering::LayerWidths widths(g, stretched.layering, stretched.num_layers,
+                               1.0);
+  const layering::SpanTable spans(g, stretched.layering,
+                                  stretched.num_layers);
+  // Pick a vertex with a non-trivial span.
+  graph::VertexId v = 0;
+  for (graph::VertexId u = 0;
+       static_cast<std::size_t>(u) < g.num_vertices(); ++u) {
+    if (spans.span(u).size() > spans.span(v).size()) v = u;
+  }
+  const int lo = spans.span(v).lo;
+  const int hi = spans.span(v).hi;
+  int from = stretched.layering.layer(v);
+  for (auto _ : state) {
+    const int to = (from == hi) ? lo : from + 1;
+    widths.apply_move(g, v, from, to);
+    from = to;
+    benchmark::DoNotOptimize(widths);
+  }
+}
+BENCHMARK(BM_Algorithm5WidthUpdate);
+
+void BM_AntWalk(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const core::AcoParams params;
+  const auto stretched = core::stretch_layering(
+      g, baselines::longest_path_layering(g), params.stretch);
+  const core::PheromoneMatrix tau(g.num_vertices(),
+                                  std::max(stretched.num_layers, 1),
+                                  params.tau0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::perform_walk(
+        g, stretched.layering, std::max(stretched.num_layers, 1), tau,
+        params, support::Rng(++seed)));
+  }
+}
+BENCHMARK(BM_AntWalk)->Range(16, 256);
+
+void BM_ColonyEndToEnd(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::AcoParams params;
+    params.num_threads = 1;
+    params.record_trace = false;
+    core::AntColony colony(g, params);
+    benchmark::DoNotOptimize(colony.run());
+  }
+}
+BENCHMARK(BM_ColonyEndToEnd)->Range(16, 128);
+
+void BM_ColonyParallelAnts(benchmark::State& state) {
+  const auto g = bench_graph(128);
+  for (auto _ : state) {
+    core::AcoParams params;
+    params.num_threads = static_cast<int>(state.range(0));
+    params.record_trace = false;
+    core::AntColony colony(g, params);
+    benchmark::DoNotOptimize(colony.run());
+  }
+}
+BENCHMARK(BM_ColonyParallelAnts)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

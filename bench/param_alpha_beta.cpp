@@ -1,0 +1,108 @@
+// Reproduces paper §VIII's (alpha, beta) tuning: "Various tests were
+// performed for alpha and beta ranging from 1 to 5 and the best results
+// were achieved for alpha = 3 and beta = 5, followed closely by alpha = 1,
+// beta = 3 ... at the expense of longer running times for the former."
+//
+// Output: the 5x5 grid of mean objective f = 1/(H+W) (higher is better)
+// and of mean runtime over a stratified corpus subsample, plus the ranking
+// of the paper's two highlighted cells.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/colony.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+int main() {
+  using namespace acolay;
+
+  std::cout << "=== Section VIII: alpha/beta parameter grid ===\n";
+  const auto corpus = bench::make_paper_corpus(false, /*per_group=*/4);
+
+  struct Cell {
+    support::Accumulator objective;
+    support::Accumulator runtime_ms;
+  };
+  std::vector<std::vector<Cell>> grid(5, std::vector<Cell>(5));
+
+  // One task per (alpha, beta) cell, parallel over cells.
+  std::vector<std::pair<int, int>> cells;
+  for (int a = 1; a <= 5; ++a) {
+    for (int b = 1; b <= 5; ++b) cells.emplace_back(a, b);
+  }
+  support::parallel_for(0, cells.size(), [&](std::size_t index) {
+    const auto [a, b] = cells[index];
+    Cell& cell = grid[static_cast<std::size_t>(a - 1)]
+                     [static_cast<std::size_t>(b - 1)];
+    for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+      core::AcoParams params;
+      params.alpha = a;
+      params.beta = b;
+      params.seed = 1000 + gi;
+      params.num_threads = 1;
+      params.record_trace = false;
+      support::Stopwatch stopwatch;
+      core::AntColony colony(corpus.graphs[gi], params);
+      const auto result = colony.run();
+      cell.runtime_ms.add(stopwatch.elapsed_ms());
+      cell.objective.add(result.metrics.objective);
+    }
+  });
+
+  support::ConsoleTable objective_table(
+      {"alpha\\beta", "b=1", "b=2", "b=3", "b=4", "b=5"});
+  support::ConsoleTable runtime_table(
+      {"alpha\\beta", "b=1", "b=2", "b=3", "b=4", "b=5"});
+  support::CsvWriter csv;
+  csv.set_header({"alpha", "beta", "mean_objective", "mean_runtime_ms"});
+  for (int a = 1; a <= 5; ++a) {
+    std::vector<std::string> obj_row{"a=" + std::to_string(a)};
+    std::vector<std::string> rt_row{"a=" + std::to_string(a)};
+    for (int b = 1; b <= 5; ++b) {
+      const auto& cell = grid[static_cast<std::size_t>(a - 1)]
+                             [static_cast<std::size_t>(b - 1)];
+      obj_row.push_back(support::ConsoleTable::num(
+          1000.0 * cell.objective.mean(), 3));
+      rt_row.push_back(support::ConsoleTable::num(cell.runtime_ms.mean(), 2));
+      csv.add_row({static_cast<std::int64_t>(a), static_cast<std::int64_t>(b),
+                   cell.objective.mean(), cell.runtime_ms.mean()});
+    }
+    objective_table.add_row(std::move(obj_row));
+    runtime_table.add_row(std::move(rt_row));
+  }
+  std::cout << "\nMean objective x1000 (higher = better):\n";
+  objective_table.print(std::cout);
+  std::cout << "\nMean runtime per graph (ms):\n";
+  runtime_table.print(std::cout);
+  csv.write_file("bench_results/param_alpha_beta.csv");
+
+  // Rank the paper's two highlighted configurations.
+  const auto objective_of = [&](int a, int b) {
+    return grid[static_cast<std::size_t>(a - 1)]
+               [static_cast<std::size_t>(b - 1)].objective.mean();
+  };
+  std::vector<std::pair<double, std::pair<int, int>>> ranking;
+  for (int a = 1; a <= 5; ++a) {
+    for (int b = 1; b <= 5; ++b) {
+      ranking.push_back({objective_of(a, b), {a, b}});
+    }
+  }
+  std::sort(ranking.rbegin(), ranking.rend());
+  const auto rank_of = [&](int a, int b) {
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+      if (ranking[i].second == std::make_pair(a, b)) return i + 1;
+    }
+    return std::size_t{0};
+  };
+  std::cout << "\nPaper-highlighted cells: (3,5) rank " << rank_of(3, 5)
+            << "/25, (1,3) rank " << rank_of(1, 3) << "/25; grid best is ("
+            << ranking.front().second.first << ','
+            << ranking.front().second.second << ")\n";
+  bench::check_claim("beta>0 beats pure pheromone (b=1 col is worst case)",
+                     objective_of(1, 3), ">=", objective_of(3, 1));
+  std::cout << "CSV written to bench_results/param_alpha_beta.csv\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "baselines/brute_force.hpp"
+
+#include <functional>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "layering/metrics.hpp"
+
+namespace acolay::baselines {
+
+namespace {
+
+/// Enumerates all valid layer assignments (layers 1..max_layers) in
+/// topological order (predecessors before successors, so each vertex's
+/// upper bound is known) and calls `visit` on each complete layering.
+void enumerate_layerings(
+    const graph::Digraph& g, int max_layers,
+    const std::function<void(const layering::Layering&)>& visit) {
+  const auto order = graph::topological_order(g);
+  ACOLAY_CHECK_MSG(order.has_value(), "brute force requires a DAG");
+  const auto n = g.num_vertices();
+  ACOLAY_CHECK_MSG(n <= 9, "brute force limited to 9 vertices, got " << n);
+
+  layering::Layering assignment(n);
+  std::function<void(std::size_t)> recurse = [&](std::size_t index) {
+    if (index == n) {
+      visit(assignment);
+      return;
+    }
+    const graph::VertexId v = (*order)[index];
+    int hi = max_layers;
+    for (const graph::VertexId p : g.predecessors(v)) {
+      hi = std::min(hi, assignment.layer(p) - 1);
+    }
+    for (int layer = 1; layer <= hi; ++layer) {
+      assignment.set_layer(v, layer);
+      recurse(index + 1);
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+layering::Layering brute_force_min_total_span(const graph::Digraph& g,
+                                              int max_layers) {
+  layering::Layering best;
+  auto best_span = std::numeric_limits<std::int64_t>::max();
+  enumerate_layerings(g, max_layers, [&](const layering::Layering& l) {
+    const auto span = layering::total_edge_span(g, l);
+    if (span < best_span) {
+      best_span = span;
+      best = l;
+    }
+  });
+  ACOLAY_CHECK_MSG(best.num_vertices() == g.num_vertices(),
+                   "no valid layering found within " << max_layers
+                                                     << " layers");
+  layering::normalize(best);
+  return best;
+}
+
+layering::Layering brute_force_max_objective(const graph::Digraph& g,
+                                             int max_layers,
+                                             double dummy_width) {
+  const layering::MetricsOptions opts{dummy_width};
+  layering::Layering best;
+  double best_objective = -1.0;
+  enumerate_layerings(g, max_layers, [&](const layering::Layering& l) {
+    auto candidate = layering::normalized(l);
+    const double objective =
+        layering::layering_objective(g, candidate, opts);
+    if (objective > best_objective) {
+      best_objective = objective;
+      best = std::move(candidate);
+    }
+  });
+  ACOLAY_CHECK(best.num_vertices() == g.num_vertices());
+  return best;
+}
+
+double brute_force_min_width(const graph::Digraph& g, int max_layers,
+                             double dummy_width) {
+  const layering::MetricsOptions opts{dummy_width};
+  double best_width = std::numeric_limits<double>::max();
+  enumerate_layerings(g, max_layers, [&](const layering::Layering& l) {
+    const auto candidate = layering::normalized(l);
+    best_width =
+        std::min(best_width, layering::layering_width(g, candidate, opts));
+  });
+  return best_width;
+}
+
+}  // namespace acolay::baselines

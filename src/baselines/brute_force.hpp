@@ -1,0 +1,30 @@
+// Exhaustive-search layering oracles for tiny graphs. Exponential — used
+// only by tests to certify that network_simplex_layering reaches the true
+// minimum total span and that the ACO/MinWidth results are measured against
+// genuine optima on small instances.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::baselines {
+
+/// Enumerates every valid layering with layers in [1, max_layers] and
+/// returns one minimising the total edge span. Requires a DAG with at most
+/// ~8 vertices (cost max_layers^|V|).
+layering::Layering brute_force_min_total_span(const graph::Digraph& g,
+                                              int max_layers);
+
+/// Enumerates every valid layering with layers in [1, max_layers] and
+/// returns one maximising the ants' objective 1/(H+W) (width including
+/// dummies at `dummy_width`).
+layering::Layering brute_force_max_objective(const graph::Digraph& g,
+                                             int max_layers,
+                                             double dummy_width = 1.0);
+
+/// Minimum achievable width (including dummies) over all layerings with
+/// layers in [1, max_layers].
+double brute_force_min_width(const graph::Digraph& g, int max_layers,
+                             double dummy_width = 1.0);
+
+}  // namespace acolay::baselines

@@ -1,0 +1,109 @@
+#include "baselines/coffman_graham.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace acolay::baselines {
+
+namespace {
+
+/// Lexicographic comparison of two *descending-sorted* label vectors per
+/// Coffman–Graham: a < b when a's sorted labels are lexicographically
+/// smaller, with a proper prefix being smaller than its extension.
+bool lex_less(const std::vector<int>& a, const std::vector<int>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+layering::Layering coffman_graham_layering(
+    const graph::Digraph& g, const CoffmanGrahamParams& params) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "coffman_graham requires a DAG");
+  const auto n = g.num_vertices();
+  if (n == 0) return layering::Layering(0);
+
+  const graph::Digraph reduced = params.use_transitive_reduction
+                                     ? graph::transitive_reduction(g)
+                                     : g;
+
+  int width_bound = params.width_bound;
+  if (width_bound <= 0) {
+    width_bound = std::max(
+        1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  }
+
+  // --- Phase 1: lexicographic labelling, from sinks upward. --------------
+  // label[v] in 1..n; a vertex is labelled when all its successors are.
+  std::vector<int> label(n, 0);
+  std::vector<std::size_t> unlabelled_succ(n);
+  for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    unlabelled_succ[static_cast<std::size_t>(v)] = reduced.out_degree(v);
+  }
+  for (int next_label = 1; next_label <= static_cast<int>(n); ++next_label) {
+    // Candidates: unlabelled with all successors labelled; choose the one
+    // whose descending successor-label vector is lexicographically minimal.
+    graph::VertexId chosen = -1;
+    std::vector<int> chosen_key;
+    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (label[static_cast<std::size_t>(v)] != 0) continue;
+      if (unlabelled_succ[static_cast<std::size_t>(v)] != 0) continue;
+      std::vector<int> key;
+      key.reserve(reduced.out_degree(v));
+      for (const graph::VertexId w : reduced.successors(v)) {
+        key.push_back(label[static_cast<std::size_t>(w)]);
+      }
+      std::sort(key.rbegin(), key.rend());
+      if (chosen < 0 || lex_less(key, chosen_key)) {
+        chosen = v;
+        chosen_key = std::move(key);
+      }
+    }
+    ACOLAY_CHECK(chosen >= 0);
+    label[static_cast<std::size_t>(chosen)] = next_label;
+    for (const graph::VertexId p : reduced.predecessors(chosen)) {
+      --unlabelled_succ[static_cast<std::size_t>(p)];
+    }
+  }
+
+  // --- Phase 2: fill layers bottom-up, at most width_bound per layer. ----
+  layering::Layering result(n);
+  std::vector<bool> placed(n, false);
+  std::size_t num_placed = 0;
+  int current_layer = 1;
+  int in_current = 0;
+  while (num_placed < n) {
+    // Candidate: unplaced, all successors on layers < current_layer,
+    // maximal label.
+    graph::VertexId best = -1;
+    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (placed[static_cast<std::size_t>(v)]) continue;
+      bool eligible = true;
+      for (const graph::VertexId w : reduced.successors(v)) {
+        if (!placed[static_cast<std::size_t>(w)] ||
+            result.layer(w) >= current_layer) {
+          eligible = false;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      if (best < 0 || label[static_cast<std::size_t>(v)] >
+                          label[static_cast<std::size_t>(best)]) {
+        best = v;
+      }
+    }
+    if (best >= 0 && in_current < width_bound) {
+      result.set_layer(best, current_layer);
+      placed[static_cast<std::size_t>(best)] = true;
+      ++num_placed;
+      ++in_current;
+    } else {
+      ++current_layer;
+      in_current = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace acolay::baselines

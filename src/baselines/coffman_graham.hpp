@@ -1,0 +1,34 @@
+// Coffman–Graham layering (cited by the paper as [2]) — the classic
+// width-bounded list-scheduling layering: given a bound W on the number of
+// *real* vertices per layer, produces a layering of height at most
+// (2 - 2/W) times optimal for that width.
+//
+// Phase 1 assigns lexicographic labels: vertices with "smaller" successor
+// label sets are labelled first. Phase 2 fills layers bottom-up, at most W
+// vertices per layer, placing a vertex only when all its successors sit on
+// strictly lower layers, and preferring the highest-labelled candidate.
+//
+// The algorithm assumes a reduced DAG; by default the input's transitive
+// reduction is taken first (classic usage), controllable via
+// CoffmanGrahamParams.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::baselines {
+
+struct CoffmanGrahamParams {
+  /// Maximum number of real vertices per layer. <= 0 selects
+  /// ceil(sqrt(|V|)).
+  int width_bound = 0;
+  /// Run on the transitive reduction of g (recommended; the width bound
+  /// then applies to the reduced graph, heights transfer to g unchanged).
+  bool use_transitive_reduction = true;
+};
+
+/// Coffman–Graham layering. Requires a DAG.
+layering::Layering coffman_graham_layering(
+    const graph::Digraph& g, const CoffmanGrahamParams& params = {});
+
+}  // namespace acolay::baselines

@@ -1,0 +1,63 @@
+#include "baselines/longest_path.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace acolay::baselines {
+
+layering::Layering longest_path_layering(const graph::Digraph& g) {
+  const auto dist = graph::longest_path_to_sink(g);
+  layering::Layering result(g.num_vertices());
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    result.set_layer(v, dist[static_cast<std::size_t>(v)] + 1);
+  }
+  return result;
+}
+
+layering::Layering longest_path_layering_literal(const graph::Digraph& g) {
+  // Paper Algorithm 1: U = assigned vertices, Z = vertices assigned to
+  // layers strictly below the current one.
+  const auto n = g.num_vertices();
+  layering::Layering result(n);
+  std::vector<bool> in_u(n, false), in_z(n, false);
+  std::size_t assigned = 0;
+  int current_layer = 1;
+  while (assigned < n) {
+    // Select any vertex v not in U with all successors in Z.
+    graph::VertexId selected = -1;
+    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (in_u[static_cast<std::size_t>(v)]) continue;
+      bool eligible = true;
+      for (const graph::VertexId w : g.successors(v)) {
+        if (!in_z[static_cast<std::size_t>(w)]) {
+          eligible = false;
+          break;
+        }
+      }
+      if (eligible) {
+        selected = v;
+        break;
+      }
+    }
+    if (selected >= 0) {
+      result.set_layer(selected, current_layer);
+      in_u[static_cast<std::size_t>(selected)] = true;
+      ++assigned;
+    } else {
+      ++current_layer;
+      // Z <- Z union U.
+      for (std::size_t v = 0; v < n; ++v) in_z[v] = in_u[v];
+    }
+  }
+  return result;
+}
+
+int minimum_height(const graph::Digraph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto dist = graph::longest_path_to_sink(g);
+  return *std::max_element(dist.begin(), dist.end()) + 1;
+}
+
+}  // namespace acolay::baselines

@@ -1,0 +1,25 @@
+// Longest-Path Layering (paper Algorithm 1).
+//
+// Places every sink on layer 1 and every other vertex v on layer p+1 where p
+// is the longest path (in edges) from v to a sink. Runs in linear time and
+// produces the minimum possible number of layers; its layerings tend to be
+// too wide (paper §III).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::baselines {
+
+/// Longest-path layering. Requires a DAG. O(V + E).
+layering::Layering longest_path_layering(const graph::Digraph& g);
+
+/// Literal transcription of the paper's Algorithm 1 (set-based selection
+/// loop). Quadratic; retained as a test oracle for longest_path_layering —
+/// both must produce identical layerings.
+layering::Layering longest_path_layering_literal(const graph::Digraph& g);
+
+/// The minimum height of any layering of g (= longest path length + 1).
+int minimum_height(const graph::Digraph& g);
+
+}  // namespace acolay::baselines

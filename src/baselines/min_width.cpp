@@ -1,0 +1,117 @@
+#include "baselines/min_width.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "layering/metrics.hpp"
+
+namespace acolay::baselines {
+
+layering::Layering min_width_layering(const graph::Digraph& g,
+                                      const MinWidthParams& params) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "min_width_layering requires a DAG");
+  const auto n = g.num_vertices();
+  layering::Layering result(std::max<std::size_t>(n, 1));
+  if (n == 0) return layering::Layering(0);
+
+  double ubw = params.ubw;
+  if (ubw <= 0.0) {
+    ubw = std::max(1.0, 1.5 * std::sqrt(g.total_vertex_width()));
+  }
+  const double wd = params.dummy_width;
+
+  std::vector<bool> in_u(n, false);  // placed anywhere
+  std::vector<bool> in_z(n, false);  // placed strictly below current layer
+  std::size_t placed = 0;
+  int current_layer = 1;
+
+  // Realised width of the current layer: starts as the dummy estimate for
+  // all edges from unplaced vertices into Z; placing v swaps wd*d+(v) of
+  // dummies for w(v) of real width.
+  double width_current = 0.0;
+  double width_up = 0.0;
+
+  while (placed < n) {
+    // Candidates: unplaced vertices whose successors are all in Z.
+    // ConditionSelect: maximum out-degree (ties: smallest id, for
+    // determinism).
+    graph::VertexId best = -1;
+    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (in_u[static_cast<std::size_t>(v)]) continue;
+      bool eligible = true;
+      for (const graph::VertexId w : g.successors(v)) {
+        if (!in_z[static_cast<std::size_t>(w)]) {
+          eligible = false;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      if (best < 0 || g.out_degree(v) > g.out_degree(best)) best = v;
+    }
+
+    bool go_up = false;
+    if (best >= 0) {
+      const bool current_full =
+          width_current >= ubw &&
+          wd * static_cast<double>(g.out_degree(best)) < g.width(best);
+      const bool up_overflow = width_up >= params.c * ubw;
+      go_up = current_full || up_overflow;
+    }
+
+    if (best >= 0 && !go_up) {
+      result.set_layer(best, current_layer);
+      in_u[static_cast<std::size_t>(best)] = true;
+      ++placed;
+      width_current +=
+          g.width(best) - wd * static_cast<double>(g.out_degree(best));
+      // Every in-edge of `best` comes from an unplaced vertex and now
+      // targets the current layer: it contributes a dummy to layers above.
+      width_up += wd * static_cast<double>(g.in_degree(best));
+    } else {
+      ++current_layer;
+      for (std::size_t v = 0; v < n; ++v) in_z[v] = in_u[v];
+      // Every edge from an unplaced vertex into the (old) current layer now
+      // crosses the new current layer as a potential dummy.
+      width_current = width_up;
+      width_up = 0.0;
+    }
+  }
+  return result;
+}
+
+layering::Layering min_width_layering_best(const graph::Digraph& g,
+                                           double dummy_width) {
+  const double base = std::sqrt(std::max(1.0, g.total_vertex_width()));
+  const double ubw_factors[] = {1.0, 1.5, 2.0, 4.0};
+  const double cs[] = {1.0, 2.0};
+
+  layering::Layering best;
+  double best_width = 0.0;
+  int best_height = 0;
+  bool first = true;
+  const layering::MetricsOptions opts{dummy_width};
+
+  for (const double factor : ubw_factors) {
+    for (const double c : cs) {
+      MinWidthParams params;
+      params.ubw = std::max(1.0, factor * base);
+      params.c = c;
+      params.dummy_width = dummy_width;
+      auto candidate = min_width_layering(g, params);
+      layering::normalize(candidate);
+      const double width = layering::layering_width(g, candidate, opts);
+      const int height = layering::layering_height(candidate);
+      if (first || width < best_width ||
+          (width == best_width && height < best_height)) {
+        best = std::move(candidate);
+        best_width = width;
+        best_height = height;
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace acolay::baselines

@@ -1,0 +1,246 @@
+#include "baselines/network_simplex.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "baselines/longest_path.hpp"
+#include "graph/algorithms.hpp"
+#include "layering/metrics.hpp"
+
+namespace acolay::baselines {
+
+namespace {
+
+/// Network simplex on one weakly-connected component. `vertices` lists the
+/// component's vertex ids in g; ranks are read from / written to `y`
+/// (indexed by original vertex id).
+class ComponentSimplex {
+ public:
+  ComponentSimplex(const graph::Digraph& g,
+                   const std::vector<graph::VertexId>& vertices,
+                   std::vector<int>& y)
+      : g_(g), vertices_(vertices), y_(y) {
+    in_component_.assign(g.num_vertices(), false);
+    for (const auto v : vertices_) {
+      in_component_[static_cast<std::size_t>(v)] = true;
+    }
+    for (const auto v : vertices_) {
+      for (const auto w : g_.successors(v)) {
+        if (in_component_[static_cast<std::size_t>(w)]) {
+          edges_.push_back({v, w});
+        }
+      }
+    }
+  }
+
+  int run(int max_pivots) {
+    if (vertices_.size() <= 1 || edges_.empty()) return 0;
+    build_tight_tree();
+    int pivots = 0;
+    while (pivots < max_pivots) {
+      const int leave = find_negative_cut_edge();
+      if (leave < 0) break;
+      if (!pivot(leave)) break;
+      ++pivots;
+    }
+    return pivots;
+  }
+
+ private:
+  int slack(const graph::Edge& e) const {
+    return y_[static_cast<std::size_t>(e.source)] -
+           y_[static_cast<std::size_t>(e.target)] - 1;
+  }
+
+  /// Grows a spanning tree of tight edges, shifting the grown part by the
+  /// minimum incident slack whenever it stalls (Gansner's tight_tree()).
+  void build_tight_tree() {
+    in_tree_vertex_.assign(g_.num_vertices(), false);
+    tree_edges_.clear();
+    const graph::VertexId root = vertices_.front();
+    in_tree_vertex_[static_cast<std::size_t>(root)] = true;
+    std::size_t tree_size = 1;
+
+    while (tree_size < vertices_.size()) {
+      // Extend along tight edges reachable from the current tree.
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (std::size_t i = 0; i < edges_.size(); ++i) {
+          const auto& e = edges_[i];
+          const bool s_in = in_tree_vertex_[static_cast<std::size_t>(e.source)];
+          const bool t_in = in_tree_vertex_[static_cast<std::size_t>(e.target)];
+          if (s_in == t_in || slack(e) != 0) continue;
+          in_tree_vertex_[static_cast<std::size_t>(s_in ? e.target
+                                                        : e.source)] = true;
+          tree_edges_.push_back(i);
+          ++tree_size;
+          grew = true;
+        }
+      }
+      if (tree_size >= vertices_.size()) break;
+
+      // Stalled: find the incident edge with minimum slack and shift the
+      // tree so it becomes tight.
+      int best_slack = std::numeric_limits<int>::max();
+      bool tree_holds_target = false;
+      for (const auto& e : edges_) {
+        const bool s_in = in_tree_vertex_[static_cast<std::size_t>(e.source)];
+        const bool t_in = in_tree_vertex_[static_cast<std::size_t>(e.target)];
+        if (s_in == t_in) continue;
+        const int s = slack(e);
+        if (s < best_slack) {
+          best_slack = s;
+          tree_holds_target = t_in;
+        }
+      }
+      ACOLAY_CHECK_MSG(best_slack != std::numeric_limits<int>::max(),
+                       "tight tree stalled with no incident edge — "
+                       "component not connected?");
+      // Shifting every tree vertex by delta keeps tree edges tight and
+      // makes the chosen edge tight. If the tree holds the edge's target,
+      // the tree moves up (+slack); otherwise down (-slack).
+      const int delta = tree_holds_target ? best_slack : -best_slack;
+      for (const auto v : vertices_) {
+        if (in_tree_vertex_[static_cast<std::size_t>(v)]) {
+          y_[static_cast<std::size_t>(v)] += delta;
+        }
+      }
+    }
+  }
+
+  /// Marks the "head" component (the side containing the tree edge's
+  /// target) after conceptually removing tree edge `leave`.
+  void mark_head_component(std::size_t leave) {
+    head_side_.assign(g_.num_vertices(), false);
+    const auto& removed = edges_[tree_edges_[leave]];
+    std::deque<graph::VertexId> queue{removed.target};
+    head_side_[static_cast<std::size_t>(removed.target)] = true;
+    while (!queue.empty()) {
+      const auto u = queue.front();
+      queue.pop_front();
+      for (const std::size_t ti : tree_edges_) {
+        if (ti == tree_edges_[leave]) continue;
+        const auto& e = edges_[ti];
+        graph::VertexId other = -1;
+        if (e.source == u) other = e.target;
+        else if (e.target == u) other = e.source;
+        else continue;
+        if (!head_side_[static_cast<std::size_t>(other)]) {
+          head_side_[static_cast<std::size_t>(other)] = true;
+          queue.push_back(other);
+        }
+      }
+    }
+  }
+
+  /// Cut value of tree edge index `leave` (into tree_edges_): edges
+  /// pointing tail->head count +1, head->tail count -1.
+  int cut_value(std::size_t leave) {
+    mark_head_component(leave);
+    int value = 0;
+    for (const auto& e : edges_) {
+      const bool s_head = head_side_[static_cast<std::size_t>(e.source)];
+      const bool t_head = head_side_[static_cast<std::size_t>(e.target)];
+      if (!s_head && t_head) ++value;       // tail -> head (with the flow)
+      else if (s_head && !t_head) --value;  // head -> tail (against)
+    }
+    return value;
+  }
+
+  /// Index into tree_edges_ of some edge with negative cut value, or -1.
+  int find_negative_cut_edge() {
+    for (std::size_t i = 0; i < tree_edges_.size(); ++i) {
+      if (cut_value(i) < 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Exchanges tree edge `leave` for the minimum-slack head->tail edge and
+  /// re-ranks the head component. Returns false if no entering edge exists
+  /// (cannot happen for a negative cut, kept as a safety valve).
+  bool pivot(int leave) {
+    mark_head_component(static_cast<std::size_t>(leave));
+    int best_slack = std::numeric_limits<int>::max();
+    std::size_t enter = edges_.size();
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      const auto& e = edges_[i];
+      const bool s_head = head_side_[static_cast<std::size_t>(e.source)];
+      const bool t_head = head_side_[static_cast<std::size_t>(e.target)];
+      if (s_head && !t_head && slack(e) < best_slack) {
+        best_slack = slack(e);
+        enter = i;
+      }
+    }
+    if (enter == edges_.size()) return false;
+    // Lower the head component by the entering edge's slack: tail->head
+    // edges (including the leaving one) lengthen, the entering edge becomes
+    // tight.
+    for (const auto v : vertices_) {
+      if (head_side_[static_cast<std::size_t>(v)]) {
+        y_[static_cast<std::size_t>(v)] -= best_slack;
+      }
+    }
+    tree_edges_[static_cast<std::size_t>(leave)] = enter;
+    return true;
+  }
+
+  const graph::Digraph& g_;
+  const std::vector<graph::VertexId>& vertices_;
+  std::vector<int>& y_;
+  std::vector<bool> in_component_;
+  std::vector<graph::Edge> edges_;
+  std::vector<std::size_t> tree_edges_;  // indices into edges_
+  std::vector<bool> in_tree_vertex_;
+  std::vector<bool> head_side_;
+};
+
+}  // namespace
+
+layering::Layering network_simplex_layering(const graph::Digraph& g,
+                                            NetworkSimplexStats* stats) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "network_simplex requires a DAG");
+  const auto n = g.num_vertices();
+  if (n == 0) return layering::Layering(0);
+
+  // Feasible start: longest-path layering.
+  auto initial = longest_path_layering(g);
+  std::vector<int> y = initial.raw();
+  if (stats != nullptr) {
+    stats->span_before = layering::total_edge_span(g, initial);
+    stats->pivots = 0;
+  }
+
+  const auto [comp, count] = graph::weakly_connected_components(g);
+  for (int c = 0; c < count; ++c) {
+    std::vector<graph::VertexId> vertices;
+    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (comp[static_cast<std::size_t>(v)] == c) vertices.push_back(v);
+    }
+    ComponentSimplex simplex(g, vertices, y);
+    const int pivots =
+        simplex.run(/*max_pivots=*/static_cast<int>(10 * n + 50));
+    if (stats != nullptr) stats->pivots += pivots;
+    // Normalize the component so its minimum rank is 1.
+    int min_rank = std::numeric_limits<int>::max();
+    for (const auto v : vertices) {
+      min_rank = std::min(min_rank, y[static_cast<std::size_t>(v)]);
+    }
+    for (const auto v : vertices) {
+      y[static_cast<std::size_t>(v)] += 1 - min_rank;
+    }
+  }
+
+  auto result = layering::Layering::from_vector(std::move(y));
+  ACOLAY_CHECK_MSG(layering::is_valid_layering(g, result),
+                   "network simplex produced an invalid layering: "
+                       << layering::validate_layering(g, result));
+  layering::normalize(result);
+  if (stats != nullptr) {
+    stats->span_after = layering::total_edge_span(g, result);
+  }
+  return result;
+}
+
+}  // namespace acolay::baselines

@@ -1,0 +1,67 @@
+#include "baselines/promote.hpp"
+
+#include "layering/metrics.hpp"
+
+namespace acolay::baselines {
+
+namespace {
+
+/// Recursively promotes v one layer up; returns the dummy-count delta.
+/// Mutates `l` directly — the caller snapshots and rolls back on a
+/// non-improving result.
+std::int64_t promote_vertex(const graph::Digraph& g, layering::Layering& l,
+                            graph::VertexId v) {
+  std::int64_t dummy_diff = 0;
+  const int target = l.layer(v) + 1;
+  for (const graph::VertexId p : g.predecessors(v)) {
+    if (l.layer(p) == target) {
+      dummy_diff += promote_vertex(g, l, p);
+    }
+  }
+  l.set_layer(v, target);
+  // Each in-edge shortens by one layer (one dummy fewer), each out-edge
+  // lengthens (one dummy more).
+  dummy_diff += static_cast<std::int64_t>(g.out_degree(v)) -
+                static_cast<std::int64_t>(g.in_degree(v));
+  return dummy_diff;
+}
+
+}  // namespace
+
+PromoteStats promote_layering(const graph::Digraph& g,
+                              layering::Layering& l) {
+  ACOLAY_CHECK_MSG(layering::is_valid_layering(g, l),
+                   "promote_layering requires a valid layering: "
+                       << layering::validate_layering(g, l));
+  PromoteStats stats;
+  stats.dummies_before = layering::dummy_vertex_count(g, l);
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    ++stats.rounds;
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      // Only vertices with in-edges can gain from promotion.
+      if (g.in_degree(v) == 0) continue;
+      layering::Layering backup = l;
+      if (promote_vertex(g, l, v) < 0) {
+        improved = true;
+        ++stats.promotions_applied;
+      } else {
+        l = std::move(backup);
+      }
+    }
+  }
+
+  layering::normalize(l);
+  stats.dummies_after = layering::dummy_vertex_count(g, l);
+  return stats;
+}
+
+layering::Layering promoted(const graph::Digraph& g, layering::Layering l) {
+  promote_layering(g, l);
+  return l;
+}
+
+}  // namespace acolay::baselines

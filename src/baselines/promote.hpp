@@ -1,0 +1,40 @@
+// Promote Layering (PL) — Nikolov & Tarassov, "Graph layering by promotion
+// of nodes" [8]; paper §III.
+//
+// A post-processing heuristic that reduces the number of dummy vertices of
+// an existing layering by repeatedly *promoting* vertices (moving them one
+// layer up, towards their predecessors). Promoting v:
+//
+//   * first recursively promotes every predecessor sitting immediately
+//     above v (layer(p) == layer(v) + 1), to keep the layering valid;
+//   * shortens each in-edge of v by one (removing one dummy per in-edge)
+//     and lengthens each out-edge by one (adding one dummy per out-edge).
+//
+// The net dummy-count delta of the recursive promotion is returned; the
+// main loop applies a promotion only when the delta is negative and repeats
+// until a fixpoint. PL is the cheap alternative to the network-simplex
+// layering of Gansner et al. [5] (see baselines/network_simplex.hpp).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::baselines {
+
+struct PromoteStats {
+  int rounds = 0;            ///< sweeps over all vertices
+  int promotions_applied = 0;
+  std::int64_t dummies_before = 0;
+  std::int64_t dummies_after = 0;
+};
+
+/// Applies node promotion to `l` in place until no promotion reduces the
+/// dummy count. The result is normalized (no empty layers). Requires a
+/// valid layering of a DAG.
+PromoteStats promote_layering(const graph::Digraph& g, layering::Layering& l);
+
+/// Convenience: longest-path layering followed by promotion (the paper's
+/// "LPL with PL" benchmark).
+layering::Layering promoted(const graph::Digraph& g, layering::Layering l);
+
+}  // namespace acolay::baselines

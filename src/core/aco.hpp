@@ -1,0 +1,15 @@
+// Umbrella header for the ACO layering core — include this to use the
+// paper's algorithm end to end:
+//
+//   acolay::core::AcoParams params;
+//   params.seed = 42;
+//   acolay::core::AntColony colony(dag, params);
+//   acolay::core::AcoResult result = colony.run();
+//   // result.layering, result.metrics, result.trace
+#pragma once
+
+#include "core/ant.hpp"       // IWYU pragma: export
+#include "core/colony.hpp"    // IWYU pragma: export
+#include "core/params.hpp"    // IWYU pragma: export
+#include "core/pheromone.hpp" // IWYU pragma: export
+#include "core/stretch.hpp"   // IWYU pragma: export

@@ -1,0 +1,118 @@
+#include "core/ant.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "layering/layer_widths.hpp"
+#include "layering/spans.hpp"
+
+namespace acolay::core {
+
+namespace {
+
+/// Chooses a layer index (1-based) from `scores` over the candidate layers
+/// [lo, lo + scores.size()).
+int choose_layer(std::span<const double> scores, int lo,
+                 const AcoParams& params, support::Rng& rng) {
+  if (params.selection == SelectionRule::kRoulette) {
+    double total = 0.0;
+    for (const double s : scores) total += s;
+    if (total > 0.0) {
+      return lo + static_cast<int>(rng.weighted_index(scores));
+    }
+    // All-zero scores (possible with clamped tau=0): fall through to max.
+  }
+  // Greedy argmax with configurable tie-breaking.
+  double best = -1.0;
+  std::vector<int> ties;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > best) {
+      best = scores[i];
+      ties.clear();
+      ties.push_back(static_cast<int>(i));
+    } else if (scores[i] == best) {
+      ties.push_back(static_cast<int>(i));
+    }
+  }
+  if (ties.size() == 1 || params.tie_break == TieBreak::kFirst) {
+    return lo + ties.front();
+  }
+  return lo + ties[rng.index(ties.size())];
+}
+
+}  // namespace
+
+WalkResult perform_walk(const graph::Digraph& g,
+                        const layering::Layering& base, int num_layers,
+                        const PheromoneMatrix& tau, const AcoParams& params,
+                        support::Rng rng) {
+  const auto n = g.num_vertices();
+  WalkResult result;
+  result.layering = base;
+  if (n == 0) {
+    result.objective = 0.0;
+    return result;
+  }
+
+  // The ant's private working state (paper §VI: performWalk "initialises
+  // ... its own copy of the layer widths data structure").
+  layering::LayerWidths widths(g, result.layering, num_layers,
+                               params.dummy_width);
+  layering::SpanTable spans(g, result.layering, num_layers);
+
+  // Vertex visiting order: a fresh random permutation (paper §IV-A: "each
+  // ant is placed on a randomly selected vertex ... the next one is chosen
+  // by the ant again randomly") or a BFS sweep from a random start (the
+  // §IV-D alternative).
+  std::vector<std::int32_t> order;
+  if (params.order == VertexOrder::kBfs) {
+    const auto bfs = graph::bfs_order(
+        g, static_cast<graph::VertexId>(rng.index(n)));
+    order.assign(bfs.begin(), bfs.end());
+  } else {
+    order = rng.permutation(n);
+  }
+
+  std::vector<double> scores;
+  for (const auto vertex_index : order) {
+    const auto v = static_cast<graph::VertexId>(vertex_index);
+    const auto span = spans.span(v);
+    const int current = result.layering.layer(v);
+
+    scores.assign(static_cast<std::size_t>(span.size()), 0.0);
+    bool any_candidate = false;
+    for (int layer = span.lo; layer <= span.hi; ++layer) {
+      // Optional neighbourhood capacity (paper §IV-C): skip layers that
+      // would exceed max_width; the current layer is always feasible.
+      if (params.max_width > 0.0 && layer != current &&
+          widths.width(layer) + g.width(v) > params.max_width) {
+        continue;
+      }
+      const double eta = 1.0 / (params.eta_epsilon + widths.width(layer));
+      const double score = std::pow(tau.at(v, layer), params.alpha) *
+                           std::pow(eta, params.beta);
+      scores[static_cast<std::size_t>(layer - span.lo)] = score;
+      any_candidate = any_candidate || score > 0.0;
+    }
+    if (!any_candidate) continue;  // nothing admissible: keep current layer
+
+    const int chosen = choose_layer(scores, span.lo, params, rng);
+    if (chosen != current) {
+      widths.apply_move(g, v, current, chosen);
+      result.layering.set_layer(v, chosen);
+      spans.refresh_around(g, result.layering, v);
+      ++result.moves;
+    }
+  }
+
+  // Objective on the compacted layering (paper §VI note: empty middle
+  // layers are removed before the layering is evaluated).
+  const auto compact = layering::normalized(result.layering);
+  result.metrics = layering::compute_metrics(
+      g, compact, layering::MetricsOptions{params.dummy_width});
+  result.objective = result.metrics.objective;
+  return result;
+}
+
+}  // namespace acolay::core

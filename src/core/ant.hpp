@@ -1,0 +1,55 @@
+// The Ant (paper §IV-E, §VI): a stochastic constructive agent that builds
+// one layering per tour by visiting every vertex in random order and
+// re-assigning it to a layer from its layer span using the random
+// proportional rule (Eq. (1)):
+//
+//   p(v, l) = tau(v,l)^alpha * eta(v,l)^beta
+//             / sum over l' in span(v) of tau(v,l')^alpha * eta(v,l')^beta
+//
+// with dynamic heuristic eta(v, l) = 1 / (eta_epsilon + W(l)) — the
+// desirability of a layer falls with its current width, dummy contributions
+// included (paper §IV-D: "the heuristic value eta_ij = 1/w_ij where w_ij is
+// the width of a layer").
+//
+// Per paper §VI the ant owns copies of the tour-base layering and layer
+// widths; after each move it applies Algorithm 5 to the widths (see
+// layering/layer_widths.hpp) and refreshes the layer spans of the moved
+// vertex's neighbours (Alg. 4 lines 9–11). eta is evaluated directly from
+// the width profile rather than materialised as a matrix — the two are
+// equivalent and this avoids O(V * L) refreshes.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/pheromone.hpp"
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+#include "layering/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace acolay::core {
+
+/// Outcome of one ant's walk.
+struct WalkResult {
+  /// The layering in the *stretched* layer space (may contain empty
+  /// layers) — this is what seeds the next tour.
+  layering::Layering layering;
+  /// Metrics of the compacted (normalized) layering, the paper's
+  /// evaluation space.
+  layering::LayeringMetrics metrics;
+  /// f = 1 / (H + W) of the compacted layering (Alg. 4 line 13).
+  double objective = 0.0;
+  /// Number of vertices whose layer changed during the walk.
+  int moves = 0;
+};
+
+/// Executes one walk. `base` must be a valid layering of g within
+/// [1, num_layers]; `tau` is the shared pheromone matrix (read-only during
+/// the tour). The rng is taken by value: each (tour, ant) pair gets its own
+/// forked stream, making the colony's result independent of thread
+/// scheduling.
+WalkResult perform_walk(const graph::Digraph& g,
+                        const layering::Layering& base, int num_layers,
+                        const PheromoneMatrix& tau, const AcoParams& params,
+                        support::Rng rng);
+
+}  // namespace acolay::core

@@ -1,0 +1,149 @@
+#include "core/colony.hpp"
+
+#include <algorithm>
+
+#include "baselines/longest_path.hpp"
+#include "core/stretch.hpp"
+#include "graph/algorithms.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace acolay::core {
+
+AntColony::AntColony(const graph::Digraph& g, AcoParams params)
+    : g_(g), params_(params) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "AntColony requires a DAG");
+  ACOLAY_CHECK(params_.num_ants >= 1);
+  ACOLAY_CHECK(params_.num_tours >= 0);
+  ACOLAY_CHECK(params_.alpha >= 0.0);
+  ACOLAY_CHECK(params_.beta >= 0.0);
+  ACOLAY_CHECK(params_.rho >= 0.0 && params_.rho <= 1.0);
+  ACOLAY_CHECK(params_.dummy_width >= 0.0);
+  ACOLAY_CHECK(params_.eta_epsilon > 0.0);
+}
+
+AcoResult AntColony::run() {
+  support::Stopwatch stopwatch;
+  AcoResult result;
+  const auto n = g_.num_vertices();
+  if (n == 0) {
+    result.layering = layering::Layering(0);
+    return result;
+  }
+
+  // --- Initialisation phase (Alg. 3) -------------------------------------
+  const auto lpl = baselines::longest_path_layering(g_);
+  auto stretched = stretch_layering(g_, lpl, params_.stretch);
+  const int num_layers = std::max(stretched.num_layers, 1);
+
+  const layering::MetricsOptions metric_opts{params_.dummy_width};
+  result.initial_objective = layering::layering_objective(
+      g_, layering::normalized(stretched.layering), metric_opts);
+
+  PheromoneMatrix tau(n, num_layers, params_.tau0);
+  support::Rng root(params_.seed);
+
+  // Global best across tours. Starts as the stretched LPL layering but is
+  // replaced by the first tour's best walk: the paper reports the ants'
+  // layering (whose emergent behaviour is trading height for width), not
+  // max(start, walks) — see Fig. 6's "20 to 30% higher than LPL".
+  layering::Layering best_layering = stretched.layering;
+  layering::LayeringMetrics best_metrics = layering::compute_metrics(
+      g_, layering::normalized(best_layering), metric_opts);
+  bool have_walk_result = false;
+  double best_objective = 0.0;
+
+  // Tour base (paper: "Every tour inherits the layering of its
+  // predecessor").
+  layering::Layering base = stretched.layering;
+
+  const auto num_ants = static_cast<std::size_t>(params_.num_ants);
+  std::vector<WalkResult> walks(num_ants);
+
+  support::ThreadPool pool(params_.num_threads <= 0
+                               ? 0
+                               : static_cast<std::size_t>(params_.num_threads));
+
+  // --- Layering phase (Alg. 4) --------------------------------------------
+  int stagnant_tours = 0;
+  for (int tour = 1; tour <= params_.num_tours; ++tour) {
+    support::parallel_for(pool, num_ants, [&](std::size_t ant) {
+      walks[ant] =
+          perform_walk(g_, base, num_layers, tau, params_,
+                       root.fork(static_cast<std::uint64_t>(tour), ant));
+    });
+
+    // Tour-best ant: max objective, ties to the lowest index (deterministic
+    // reduction regardless of scheduling).
+    std::size_t best_ant = 0;
+    for (std::size_t ant = 1; ant < num_ants; ++ant) {
+      if (walks[ant].objective > walks[best_ant].objective) best_ant = ant;
+    }
+    const WalkResult& tour_best = walks[best_ant];
+
+    if (params_.record_trace) {
+      TourStats stats;
+      stats.tour = tour;
+      stats.best_objective = tour_best.objective;
+      double sum = 0.0;
+      int moves = 0;
+      for (const auto& walk : walks) {
+        sum += walk.objective;
+        moves += walk.moves;
+      }
+      stats.mean_objective = sum / static_cast<double>(num_ants);
+      stats.best_width = tour_best.metrics.width_incl_dummies;
+      stats.best_height = tour_best.metrics.height;
+      stats.best_dummies = tour_best.metrics.dummy_count;
+      stats.total_moves = moves;
+      result.trace.push_back(stats);
+    }
+
+    // Evaporation + tour-best deposit (Alg. 4 lines 16–17).
+    tau.evaporate(params_.rho);
+    const double amount = params_.deposit * tour_best.objective;
+    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      tau.deposit(v, tour_best.layering.layer(v), amount);
+    }
+    if (params_.tau_min > 0.0 ||
+        params_.tau_max < std::numeric_limits<double>::infinity()) {
+      tau.clamp(params_.tau_min, params_.tau_max);
+    }
+
+    // The tour-best layering (hence its width profile / heuristic state)
+    // seeds the next tour (Alg. 4 line 18).
+    base = tour_best.layering;
+
+    if (!have_walk_result || tour_best.objective > best_objective) {
+      have_walk_result = true;
+      best_objective = tour_best.objective;
+      best_layering = tour_best.layering;
+      best_metrics = tour_best.metrics;
+    }
+
+    // Stagnation handling (acolay extension; kNone = paper behaviour).
+    int tour_moves = 0;
+    for (const auto& walk : walks) tour_moves += walk.moves;
+    stagnant_tours = tour_moves == 0 ? stagnant_tours + 1 : 0;
+    if (params_.stagnation != StagnationPolicy::kNone &&
+        stagnant_tours >= params_.stagnation_tours) {
+      if (params_.stagnation == StagnationPolicy::kStop) break;
+      // kResetPheromone: wipe the trail so the heuristic term re-explores.
+      tau = PheromoneMatrix(n, num_layers, params_.tau0);
+      stagnant_tours = 0;
+    }
+  }
+
+  result.layering = layering::normalized(best_layering);
+  result.metrics = best_metrics;
+  result.seconds = stopwatch.elapsed_seconds();
+  return result;
+}
+
+layering::Layering aco_layering(const graph::Digraph& g,
+                                const AcoParams& params) {
+  AntColony colony(g, params);
+  return colony.run().layering;
+}
+
+}  // namespace acolay::core

@@ -1,0 +1,73 @@
+// The AntColony (paper §V, §VI): orchestrates the search.
+//
+//   initialisation (Alg. 3): LPL layering -> stretch to n layers ->
+//     uniform pheromone tau0;
+//   layering phase (Alg. 4): num_tours tours; each tour runs every ant's
+//     walk from the tour-base layering, then evaporates the pheromone,
+//     lets the tour-best ant deposit on its couplings, and promotes the
+//     tour-best layering (and thereby its width profile / heuristic state)
+//     to tour base;
+//   the returned layering is the best seen across all tours, compacted
+//     (empty layers removed, paper §VI note).
+//
+// Ants within a tour are independent given the shared read-only pheromone
+// matrix, so they run on a thread pool; every (tour, ant) pair owns a
+// forked RNG stream and the reduction is by objective with index
+// tie-breaking, making the result bit-identical for any thread count.
+#pragma once
+
+#include <vector>
+
+#include "core/ant.hpp"
+#include "core/params.hpp"
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+#include "layering/metrics.hpp"
+
+namespace acolay::core {
+
+/// Per-tour statistics (recorded when AcoParams::record_trace).
+struct TourStats {
+  int tour = 0;                 ///< 1-based tour number
+  double best_objective = 0.0;  ///< best f in this tour
+  double mean_objective = 0.0;  ///< mean f over the colony
+  double best_width = 0.0;      ///< width (incl. dummies) of tour best
+  int best_height = 0;
+  std::int64_t best_dummies = 0;
+  int total_moves = 0;          ///< vertex moves across all ants
+};
+
+struct AcoResult {
+  /// Best layering found, normalized (layers 1..h, no empty layers).
+  layering::Layering layering;
+  /// Metrics of `layering` (dummy_width per the params).
+  layering::LayeringMetrics metrics;
+  /// Per-tour trace (empty when record_trace is false).
+  std::vector<TourStats> trace;
+  /// Wall-clock spent in run().
+  double seconds = 0.0;
+  /// Objective of the starting (stretched LPL) layering, for
+  /// improvement-over-baseline reporting.
+  double initial_objective = 0.0;
+};
+
+class AntColony {
+ public:
+  /// Requires a DAG.
+  AntColony(const graph::Digraph& g, AcoParams params);
+
+  /// Runs the full search (paper runColony()).
+  AcoResult run();
+
+  const AcoParams& params() const { return params_; }
+
+ private:
+  const graph::Digraph& g_;
+  AcoParams params_;
+};
+
+/// Convenience wrapper: runs a colony and returns only the layering.
+layering::Layering aco_layering(const graph::Digraph& g,
+                                const AcoParams& params = {});
+
+}  // namespace acolay::core

@@ -1,0 +1,43 @@
+#include "core/pheromone.hpp"
+
+#include <algorithm>
+
+namespace acolay::core {
+
+PheromoneMatrix::PheromoneMatrix(std::size_t num_vertices, int num_layers,
+                                 double tau0)
+    : vertices_(num_vertices),
+      layers_(num_layers),
+      tau_(num_vertices * static_cast<std::size_t>(std::max(num_layers, 0)),
+           tau0) {
+  ACOLAY_CHECK(num_layers >= 0);
+  ACOLAY_CHECK_MSG(tau0 > 0.0, "tau0 must be positive");
+}
+
+void PheromoneMatrix::evaporate(double rho) {
+  ACOLAY_CHECK_MSG(rho >= 0.0 && rho <= 1.0, "rho must be in [0,1]");
+  const double keep = 1.0 - rho;
+  for (auto& tau : tau_) tau *= keep;
+}
+
+void PheromoneMatrix::deposit(graph::VertexId v, int layer, double amount) {
+  ACOLAY_CHECK_MSG(amount >= 0.0, "deposit must be non-negative");
+  tau_[offset(v, layer)] += amount;
+}
+
+void PheromoneMatrix::clamp(double tau_min, double tau_max) {
+  ACOLAY_CHECK(tau_min <= tau_max);
+  for (auto& tau : tau_) tau = std::clamp(tau, tau_min, tau_max);
+}
+
+double PheromoneMatrix::min_value() const {
+  ACOLAY_CHECK(!tau_.empty());
+  return *std::min_element(tau_.begin(), tau_.end());
+}
+
+double PheromoneMatrix::max_value() const {
+  ACOLAY_CHECK(!tau_.empty());
+  return *std::max_element(tau_.begin(), tau_.end());
+}
+
+}  // namespace acolay::core

@@ -1,0 +1,58 @@
+// The pheromone matrix tau (paper §IV-D): tau(v, l) is the desirability of
+// assigning vertex v to layer l, learned across tours. The paper's update
+// protocol (Alg. 4 lines 16–17): per-tour evaporation of every element
+// followed by a deposit from the tour-best ant on its couplings.
+//
+// Optional MAX-MIN clamping bounds stagnation (the paper observes that
+// alpha > 1 without heuristic bias stagnates, §IV-D; clamping is the
+// standard remedy and is exercised by the ablation bench).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/check.hpp"
+
+namespace acolay::core {
+
+class PheromoneMatrix {
+ public:
+  /// num_vertices x num_layers matrix, all entries tau0.
+  PheromoneMatrix(std::size_t num_vertices, int num_layers, double tau0);
+
+  std::size_t num_vertices() const { return vertices_; }
+  int num_layers() const { return layers_; }
+
+  /// tau(v, l); layers are 1-based.
+  double at(graph::VertexId v, int layer) const {
+    return tau_[offset(v, layer)];
+  }
+
+  /// tau *= (1 - rho) for every element.
+  void evaporate(double rho);
+
+  /// tau(v, l) += amount.
+  void deposit(graph::VertexId v, int layer, double amount);
+
+  /// Clamps every element into [tau_min, tau_max].
+  void clamp(double tau_min, double tau_max);
+
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  std::size_t offset(graph::VertexId v, int layer) const {
+    ACOLAY_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < vertices_,
+                     "vertex " << v << " out of range");
+    ACOLAY_CHECK_MSG(layer >= 1 && layer <= layers_,
+                     "layer " << layer << " out of range");
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(layers_) +
+           static_cast<std::size_t>(layer - 1);
+  }
+
+  std::size_t vertices_;
+  int layers_;
+  std::vector<double> tau_;
+};
+
+}  // namespace acolay::core

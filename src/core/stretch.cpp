@@ -1,0 +1,79 @@
+#include "core/stretch.hpp"
+
+#include <algorithm>
+
+#include "layering/metrics.hpp"
+
+namespace acolay::core {
+
+StretchResult stretch_layering(const graph::Digraph& g,
+                               const layering::Layering& base,
+                               StretchMode mode) {
+  ACOLAY_CHECK_MSG(layering::is_valid_layering(g, base),
+                   "stretch requires a valid layering: "
+                       << layering::validate_layering(g, base));
+  const auto n = static_cast<int>(g.num_vertices());
+  StretchResult result;
+  result.layering = layering::normalized(base);
+  const int base_height = layering::layering_height(result.layering);
+
+  if (n == 0) {
+    result.num_layers = 0;
+    return result;
+  }
+
+  const int new_layers = n - base_height;  // paper: nnl = n - n_LPL
+  ACOLAY_CHECK(new_layers >= 0);
+
+  switch (mode) {
+    case StretchMode::kNone:
+      result.num_layers = base_height;
+      return result;
+
+    case StretchMode::kTopBottom: {
+      // Half the new layers below layer 1, half above the top; occupied
+      // layers keep their relative order.
+      const int below = new_layers / 2;
+      for (graph::VertexId v = 0; v < n; ++v) {
+        result.layering.set_layer(v, result.layering.layer(v) + below);
+      }
+      result.num_layers = n;
+      return result;
+    }
+
+    case StretchMode::kBetweenLayers: {
+      // Distribute the new layers into the base_height - 1 gaps as evenly
+      // as possible (first `remainder` gaps get one extra). The degenerate
+      // single-layer case has no gaps; those layers go on top, which is
+      // equivalent for an edgeless layering.
+      const int gaps = base_height - 1;
+      if (gaps == 0) {
+        result.num_layers = n;
+        return result;
+      }
+      const int per_gap = new_layers / gaps;
+      const int remainder = new_layers % gaps;
+      // inserted_below[k] = number of new layers inserted below old layer
+      // k+1 (i.e. in gaps 1..k).
+      std::vector<int> inserted_below(static_cast<std::size_t>(base_height),
+                                      0);
+      int running = 0;
+      for (int gap = 1; gap <= gaps; ++gap) {
+        running += per_gap + (gap <= remainder ? 1 : 0);
+        inserted_below[static_cast<std::size_t>(gap)] = running;
+      }
+      for (graph::VertexId v = 0; v < n; ++v) {
+        const int old_layer = result.layering.layer(v);
+        result.layering.set_layer(
+            v, old_layer + inserted_below[static_cast<std::size_t>(
+                   old_layer - 1)]);
+      }
+      result.num_layers = n;
+      return result;
+    }
+  }
+  ACOLAY_CHECK_MSG(false, "unreachable stretch mode");
+  return result;
+}
+
+}  // namespace acolay::core

@@ -1,0 +1,37 @@
+// Stretching the LPL layering (paper §V-A).
+//
+// The ants start from the longest-path layering, which has minimum height
+// and therefore leaves almost no room to move vertices. The stretch step
+// grows the number of layers to n = |V| — guaranteeing that every layering,
+// including all minimum-width ones, stays inside the search space — by
+// inserting the n - n_LPL new (initially empty) layers:
+//
+//   kBetweenLayers (Fig. 2): the new layers are distributed round-robin
+//     into the n_LPL - 1 inter-layer gaps, uniformly enlarging every
+//     vertex's layer span;
+//   kTopBottom (Fig. 1): half go below layer 1 and half above the top —
+//     the paper's rejected alternative (only sources/sinks benefit);
+//   kNone: no stretching (ants restricted to the LPL layers).
+#pragma once
+
+#include "core/params.hpp"
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::core {
+
+struct StretchResult {
+  /// The input layering re-indexed into the stretched layer space.
+  layering::Layering layering;
+  /// Total number of layers available to the ants (= |V| for the two
+  /// stretching modes, n_LPL for kNone).
+  int num_layers = 0;
+};
+
+/// Stretches `base` (a valid, normalized layering of g) according to
+/// `mode`. The result is a valid layering over `num_layers` layers.
+StretchResult stretch_layering(const graph::Digraph& g,
+                               const layering::Layering& base,
+                               StretchMode mode);
+
+}  // namespace acolay::core

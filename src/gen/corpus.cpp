@@ -1,0 +1,82 @@
+#include "gen/corpus.hpp"
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace acolay::gen {
+
+std::vector<std::size_t> Corpus::group_members(int group) const {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < group_of.size(); ++i) {
+    if (group_of[i] == group) members.push_back(i);
+  }
+  return members;
+}
+
+namespace {
+
+Corpus make_corpus_impl(const CorpusParams& params,
+                        std::size_t per_group_cap) {
+  ACOLAY_CHECK(params.min_vertices >= 2);
+  ACOLAY_CHECK(params.step >= 1);
+  ACOLAY_CHECK(params.max_vertices >= params.min_vertices);
+  ACOLAY_CHECK(params.min_density >= 0.0);
+  ACOLAY_CHECK(params.max_density >= params.min_density);
+
+  Corpus corpus;
+  for (int n = params.min_vertices; n <= params.max_vertices;
+       n += params.step) {
+    corpus.group_vertices.push_back(n);
+  }
+  const std::size_t groups = corpus.group_vertices.size();
+  ACOLAY_CHECK(groups >= 1);
+
+  // Distribute total_graphs as evenly as possible: the first `remainder`
+  // groups receive one extra graph (1277 = 19*67 + 4 for the defaults).
+  std::vector<std::size_t> group_sizes(groups,
+                                       params.total_graphs / groups);
+  for (std::size_t g = 0; g < params.total_graphs % groups; ++g) {
+    ++group_sizes[g];
+  }
+  if (per_group_cap > 0) {
+    for (auto& size : group_sizes) size = std::min(size, per_group_cap);
+  }
+
+  support::Rng root(params.seed);
+  for (std::size_t group = 0; group < groups; ++group) {
+    const int n = corpus.group_vertices[group];
+    for (std::size_t i = 0; i < group_sizes[group]; ++i) {
+      // Independent stream per (group, index): the subsample sees exactly
+      // the same graphs as the full corpus prefix.
+      support::Rng rng = root.fork(group, i);
+      const double density =
+          rng.uniform(params.min_density, params.max_density);
+      NorthParams north;
+      north.num_vertices = static_cast<std::size_t>(n);
+      north.num_edges = static_cast<std::size_t>(
+          std::lround(density * static_cast<double>(n)));
+      auto graph = random_north_dag(north, rng);
+      ACOLAY_CHECK(graph::is_dag(graph));
+      ACOLAY_CHECK(graph::is_weakly_connected(graph));
+      corpus.graphs.push_back(std::move(graph));
+      corpus.group_of.push_back(static_cast<int>(group));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace
+
+Corpus make_corpus(const CorpusParams& params) {
+  return make_corpus_impl(params, /*per_group_cap=*/0);
+}
+
+Corpus make_corpus_subsample(const CorpusParams& params,
+                             std::size_t per_group) {
+  ACOLAY_CHECK(per_group >= 1);
+  return make_corpus_impl(params, per_group);
+}
+
+}  // namespace acolay::gen

@@ -1,0 +1,64 @@
+// The synthetic stand-in for the paper's evaluation corpus.
+//
+// Paper §VII: "Experiments ... were conducted over a set of 1277 directed
+// graphs [AT&T graphs available from graphdrawing.org]. The set of 1277
+// graphs was divided into 19 groups according to the number of vertices in
+// each graph — ranging from 10 to 100 with step size 5."
+//
+// The AT&T graphs are not available offline, so this module generates a
+// corpus with the same shape (see DESIGN.md substitution table):
+//   * 1277 weakly-connected simple DAGs;
+//   * 19 groups with n = 10, 15, ..., 100;
+//   * sparse: |E| drawn as density * n with density ~ U[1.0, 1.6]
+//     (the AT&T collection averages ~1.3 edges/vertex);
+//   * shallow-and-bushy (gen::random_north_dag): natural depth ≈ 0.28 n
+//     with bottom-heavy level population, reproducing the paper's LPL
+//     height curve (Fig. 6) and leaving real width slack for the
+//     algorithms to compete on.
+//
+// The corpus is a pure function of its seed; the default seed is shared by
+// every figure bench so all of them measure the same graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/random_dag.hpp"
+#include "graph/digraph.hpp"
+
+namespace acolay::gen {
+
+struct CorpusParams {
+  std::uint64_t seed = 20070325;  ///< fixed default shared by all benches
+  std::size_t total_graphs = 1277;
+  int min_vertices = 10;
+  int max_vertices = 100;
+  int step = 5;
+  double min_density = 1.0;  ///< edges per vertex, lower bound
+  double max_density = 1.6;  ///< edges per vertex, upper bound
+};
+
+struct Corpus {
+  std::vector<graph::Digraph> graphs;
+  /// group_of[i] indexes group_sizes/group_vertices for graphs[i].
+  std::vector<int> group_of;
+  /// Vertex count per group (10, 15, ..., 100 by default).
+  std::vector<int> group_vertices;
+
+  std::size_t num_groups() const { return group_vertices.size(); }
+
+  /// Indices of the graphs in group `group`.
+  std::vector<std::size_t> group_members(int group) const;
+};
+
+/// Builds the full corpus. ~1277 graphs of 10..100 vertices: cheap
+/// (milliseconds), so benches rebuild rather than cache.
+Corpus make_corpus(const CorpusParams& params = {});
+
+/// A stratified subsample: the first `per_group` graphs of each group (the
+/// parameter-sweep benches use this to stay within their time budget while
+/// covering every size).
+Corpus make_corpus_subsample(const CorpusParams& params,
+                             std::size_t per_group);
+
+}  // namespace acolay::gen

@@ -1,0 +1,240 @@
+#include "gen/random_dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+
+namespace acolay::gen {
+
+graph::Digraph random_dag(const GnmParams& params, support::Rng& rng) {
+  const std::size_t n = params.num_vertices;
+  graph::Digraph g(n);
+  if (n <= 1) return g;
+
+  // Random topological order: position[v] = rank of v; edges run from the
+  // higher-ranked endpoint to the lower-ranked one.
+  const auto order = rng.permutation(n);  // order[rank] = vertex
+  std::size_t target_edges = params.num_edges;
+  const std::size_t max_edges = n * (n - 1) / 2;
+  target_edges = std::min(target_edges, max_edges);
+  if (params.connected) {
+    target_edges = std::max(target_edges, n - 1);
+  }
+
+  std::size_t added = 0;
+  if (params.connected) {
+    // Spanning tree over the order: each rank r >= 1 attaches to a random
+    // lower rank (short spans preferred under the same bias).
+    for (std::size_t r = 1; r < n; ++r) {
+      std::size_t partner;
+      if (params.span_bias > 0.0) {
+        std::size_t distance = 1;
+        while (distance < r && rng.bernoulli(params.span_bias)) ++distance;
+        partner = r - distance;
+      } else {
+        partner = rng.index(r);
+      }
+      if (g.add_edge(order[r], order[partner])) ++added;
+    }
+  }
+
+  // Remaining edges: sample (high rank, low rank) pairs.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (target_edges + 1) + 200;
+  while (added < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t hi = 1 + rng.index(n - 1);
+    std::size_t lo;
+    if (params.span_bias > 0.0) {
+      std::size_t distance = 1;
+      while (distance < hi && rng.bernoulli(params.span_bias)) ++distance;
+      lo = hi - distance;
+    } else {
+      lo = rng.index(hi);
+    }
+    if (g.add_edge(order[hi], order[lo])) ++added;
+  }
+  // Dense corner: fall back to scanning all remaining pairs.
+  if (added < target_edges) {
+    for (std::size_t hi = 1; hi < n && added < target_edges; ++hi) {
+      for (std::size_t lo = 0; lo < hi && added < target_edges; ++lo) {
+        if (g.add_edge(order[hi], order[lo])) ++added;
+      }
+    }
+  }
+  return g;
+}
+
+graph::Digraph random_layered_dag(const LayeredParams& params,
+                                  support::Rng& rng) {
+  ACOLAY_CHECK(params.num_layers >= 1);
+  ACOLAY_CHECK(params.min_per_layer >= 1);
+  ACOLAY_CHECK(params.max_per_layer >= params.min_per_layer);
+  graph::Digraph g;
+  // layer_members[i] holds the vertices of layer i+1 (bottom-up).
+  std::vector<std::vector<graph::VertexId>> layer_members;
+  for (int layer = 0; layer < params.num_layers; ++layer) {
+    const int count = static_cast<int>(
+        rng.uniform_int(params.min_per_layer, params.max_per_layer));
+    std::vector<graph::VertexId> members;
+    for (int i = 0; i < count; ++i) members.push_back(g.add_vertex());
+    layer_members.push_back(std::move(members));
+  }
+  // Adjacent-layer edges (source above, target below).
+  for (int upper = 1; upper < params.num_layers; ++upper) {
+    for (const auto u : layer_members[static_cast<std::size_t>(upper)]) {
+      bool has_edge = false;
+      for (const auto v :
+           layer_members[static_cast<std::size_t>(upper - 1)]) {
+        if (rng.bernoulli(params.adjacent_edge_prob)) {
+          g.add_edge(u, v);
+          has_edge = true;
+        }
+      }
+      // Keep every non-bottom vertex anchored so the natural layer
+      // structure is reflected in the graph.
+      if (!has_edge) {
+        const auto& below = layer_members[static_cast<std::size_t>(upper - 1)];
+        g.add_edge(u, below[rng.index(below.size())]);
+      }
+    }
+  }
+  // Long edges.
+  for (int upper = 2; upper < params.num_layers; ++upper) {
+    for (int lower = 0; lower <= upper - 2; ++lower) {
+      for (const auto u : layer_members[static_cast<std::size_t>(upper)]) {
+        for (const auto v : layer_members[static_cast<std::size_t>(lower)]) {
+          if (rng.bernoulli(params.long_edge_prob)) g.add_edge(u, v);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+graph::Digraph random_tree_dag(std::size_t num_vertices, support::Rng& rng,
+                               double branching) {
+  graph::Digraph g(num_vertices);
+  for (std::size_t v = 1; v < num_vertices; ++v) {
+    std::size_t parent;
+    if (branching > 1.0) {
+      // Skew towards recent vertices: take the max of k uniform draws.
+      const int draws = std::max(1, static_cast<int>(std::lround(branching)));
+      parent = 0;
+      for (int d = 0; d < draws; ++d) parent = std::max(parent, rng.index(v));
+    } else {
+      parent = rng.index(v);
+    }
+    // Parent points to child: parent must sit on a higher layer, so the
+    // edge is parent -> child with our convention reversed — the root is a
+    // source, children are below.
+    g.add_edge(static_cast<graph::VertexId>(parent),
+               static_cast<graph::VertexId>(v));
+  }
+  return g;
+}
+
+graph::Digraph random_series_parallel(std::size_t operations,
+                                      support::Rng& rng,
+                                      double series_prob) {
+  graph::Digraph g(2);
+  struct Arc {
+    graph::VertexId source, target;
+  };
+  std::vector<Arc> arcs{{0, 1}};
+  for (std::size_t step = 0; step < operations; ++step) {
+    const std::size_t pick = rng.index(arcs.size());
+    const Arc arc = arcs[pick];
+    if (rng.bernoulli(series_prob)) {
+      // Series: subdivide source -> mid -> target.
+      const auto mid = g.add_vertex();
+      arcs[pick] = Arc{arc.source, mid};
+      arcs.push_back(Arc{mid, arc.target});
+    } else {
+      // Parallel: duplicate via a fresh midpoint to keep the graph simple.
+      const auto mid = g.add_vertex();
+      arcs.push_back(Arc{arc.source, mid});
+      arcs.push_back(Arc{mid, arc.target});
+    }
+  }
+  for (const auto& arc : arcs) g.add_edge(arc.source, arc.target);
+  return g;
+}
+
+graph::Digraph random_north_dag(const NorthParams& params,
+                                support::Rng& rng) {
+  const std::size_t n = params.num_vertices;
+  graph::Digraph g(n);
+  if (n <= 1) return g;
+  ACOLAY_CHECK(params.recency_skew >= 1.0);
+
+  // Growth tree: vertex i attaches under a random earlier vertex. Creation
+  // order is a topological order (every edge runs earlier -> later), which
+  // keeps all later insertions trivially acyclic.
+  std::size_t added = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t parent = rng.index(i);
+    const int draws =
+        static_cast<int>(std::lround(params.recency_skew)) - 1;
+    for (int d = 0; d < draws; ++d) {
+      parent = std::max(parent, rng.index(i));
+    }
+    if (g.add_edge(static_cast<graph::VertexId>(parent),
+                   static_cast<graph::VertexId>(i))) {
+      ++added;
+    }
+  }
+
+  // Extra cross edges between random (earlier, later) pairs.
+  const std::size_t max_edges = n * (n - 1) / 2;
+  const std::size_t target =
+      std::min(std::max(params.num_edges, added), max_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 60 * (target + 1) + 200;
+  while (added < target && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t later = 1 + rng.index(n - 1);
+    const std::size_t earlier = rng.index(later);
+    if (g.add_edge(static_cast<graph::VertexId>(earlier),
+                   static_cast<graph::VertexId>(later))) {
+      ++added;
+    }
+  }
+  // Dense corner: deterministic fill.
+  if (added < target) {
+    for (std::size_t later = 1; later < n && added < target; ++later) {
+      for (std::size_t earlier = 0; earlier < later && added < target;
+           ++earlier) {
+        if (g.add_edge(static_cast<graph::VertexId>(earlier),
+                       static_cast<graph::VertexId>(later))) {
+          ++added;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+graph::Digraph complete_bipartite_dag(std::size_t top, std::size_t bottom) {
+  graph::Digraph g(top + bottom);
+  for (std::size_t u = 0; u < top; ++u) {
+    for (std::size_t v = 0; v < bottom; ++v) {
+      g.add_edge(static_cast<graph::VertexId>(u),
+                 static_cast<graph::VertexId>(top + v));
+    }
+  }
+  return g;
+}
+
+graph::Digraph path_dag(std::size_t num_vertices) {
+  graph::Digraph g(num_vertices);
+  for (std::size_t v = 0; v + 1 < num_vertices; ++v) {
+    g.add_edge(static_cast<graph::VertexId>(v),
+               static_cast<graph::VertexId>(v + 1));
+  }
+  return g;
+}
+
+}  // namespace acolay::gen

@@ -1,0 +1,96 @@
+// Random DAG generators.
+//
+// The paper evaluates on 1277 AT&T directed graphs (graphdrawing.org) which
+// are not redistributable offline; gen/corpus.hpp builds a synthetic
+// substitute from these models (see DESIGN.md substitution table). The
+// individual models are also the workload source for tests and
+// microbenchmarks.
+//
+// All generators are deterministic functions of their Rng argument.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace acolay::gen {
+
+struct GnmParams {
+  std::size_t num_vertices = 10;
+  /// Total edges (clamped to the simple-DAG maximum). Values below
+  /// num_vertices - 1 are raised to that (the connecting tree).
+  std::size_t num_edges = 13;
+  /// Geometric bias towards short topological spans: probability that an
+  /// edge's endpoint distance in the topological order grows by one more
+  /// step. 0 disables the bias (uniform pairs). Real drawing corpora are
+  /// dominated by local edges.
+  double span_bias = 0.35;
+  /// When true (default) a random spanning tree over the topological order
+  /// guarantees weak connectivity.
+  bool connected = true;
+};
+
+/// Random simple DAG: vertices get a random topological order; edges point
+/// from later to earlier order positions (consistent with acolay's
+/// layer(u) > layer(v) convention).
+graph::Digraph random_dag(const GnmParams& params, support::Rng& rng);
+
+struct LayeredParams {
+  int num_layers = 4;
+  int min_per_layer = 1;
+  int max_per_layer = 5;
+  /// Probability of an edge between vertices on adjacent layers.
+  double adjacent_edge_prob = 0.4;
+  /// Probability of a long edge (span >= 2) between any non-adjacent pair.
+  double long_edge_prob = 0.05;
+};
+
+/// DAG generated from an explicit layer structure (every vertex knows a
+/// natural layer; edges point from higher to lower layers). Exercises
+/// layering algorithms against a known-good reference height.
+graph::Digraph random_layered_dag(const LayeredParams& params,
+                                  support::Rng& rng);
+
+/// Random rooted tree with edges pointing from parents to children (one
+/// source, every non-root has in-degree 1). `branching` skews parent choice
+/// towards recent vertices (1.0 = uniform; larger = deeper trees).
+graph::Digraph random_tree_dag(std::size_t num_vertices, support::Rng& rng,
+                               double branching = 1.0);
+
+/// Random two-terminal series-parallel DAG built by repeated series/parallel
+/// expansions of a single edge. Yields exactly `operations` expansion steps.
+graph::Digraph random_series_parallel(std::size_t operations,
+                                      support::Rng& rng,
+                                      double series_prob = 0.5);
+
+struct NorthParams {
+  std::size_t num_vertices = 50;
+  /// Target edge count; at least the spanning tree (n-1 edges) is created.
+  std::size_t num_edges = 65;
+  /// Parent selection skew: each new vertex attaches below the max of
+  /// `recency_skew` uniform draws over the existing vertices. 1.0 = the
+  /// uniform recursive tree (expected depth ~ e ln n, about half the
+  /// vertices are leaves); larger values grow deeper, thinner hierarchies.
+  double recency_skew = 1.0;
+};
+
+/// "North-like" DAG — the corpus model substituting for the paper's 1277
+/// AT&T graphs (see gen/corpus.hpp and DESIGN.md). A growth process in the
+/// style of real call/dependency hierarchies: vertices arrive one at a
+/// time, each attaching *under* a random earlier vertex (edge parent ->
+/// child, so children sit on lower layers); the remaining edges connect
+/// random (earlier -> later) pairs, which preserves acyclicity.
+///
+/// The resulting DAGs are leaf-heavy and shallow: the longest-path
+/// layering piles the many leaves onto layer 1, producing the
+/// width-dominated LPL layerings (and the large dummy contribution to
+/// width) that the paper's Figure 4 shows for the AT&T corpus.
+graph::Digraph random_north_dag(const NorthParams& params, support::Rng& rng);
+
+/// Complete bipartite-style worst case for dummy counts: `top` sources each
+/// connected to `bottom` sinks.
+graph::Digraph complete_bipartite_dag(std::size_t top, std::size_t bottom);
+
+/// A directed path v0 -> v1 -> ... -> v_{n-1}.
+graph::Digraph path_dag(std::size_t num_vertices);
+
+}  // namespace acolay::gen

@@ -1,0 +1,94 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace acolay::graph {
+
+VertexId Digraph::add_vertex(double width, std::string label) {
+  ACOLAY_CHECK_MSG(width >= 0.0, "vertex width must be non-negative");
+  const auto id = static_cast<VertexId>(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  width_.push_back(width);
+  label_.push_back(std::move(label));
+  return id;
+}
+
+void Digraph::add_vertices(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) add_vertex();
+}
+
+bool Digraph::add_edge(VertexId u, VertexId v) {
+  check_vertex(u);
+  check_vertex(v);
+  ACOLAY_CHECK_MSG(u != v, "self-loop on vertex " << u);
+  if (has_edge(u, v)) return false;
+  out_[static_cast<std::size_t>(u)].push_back(v);
+  in_[static_cast<std::size_t>(v)].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+void Digraph::reserve(std::size_t vertices, std::size_t edges) {
+  out_.reserve(vertices);
+  in_.reserve(vertices);
+  width_.reserve(vertices);
+  label_.reserve(vertices);
+  (void)edges;  // adjacency lists grow on demand
+}
+
+bool Digraph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& out_u = out_[static_cast<std::size_t>(u)];
+  const auto& in_v = in_[static_cast<std::size_t>(v)];
+  if (out_u.size() <= in_v.size()) {
+    return std::find(out_u.begin(), out_u.end(), v) != out_u.end();
+  }
+  return std::find(in_v.begin(), in_v.end(), u) != in_v.end();
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(num_edges_);
+  for (VertexId u = 0; static_cast<std::size_t>(u) < out_.size(); ++u) {
+    for (const VertexId v : out_[static_cast<std::size_t>(u)]) {
+      result.push_back(Edge{u, v});
+    }
+  }
+  return result;
+}
+
+void Digraph::set_width(VertexId v, double width) {
+  check_vertex(v);
+  ACOLAY_CHECK_MSG(width >= 0.0, "vertex width must be non-negative");
+  width_[static_cast<std::size_t>(v)] = width;
+}
+
+void Digraph::set_label(VertexId v, std::string label) {
+  check_vertex(v);
+  label_[static_cast<std::size_t>(v)] = std::move(label);
+}
+
+double Digraph::total_vertex_width() const {
+  double total = 0.0;
+  for (const double w : width_) total += w;
+  return total;
+}
+
+bool operator==(const Digraph& a, const Digraph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  if (a.width_ != b.width_ || a.label_ != b.label_) return false;
+  for (std::size_t v = 0; v < a.out_.size(); ++v) {
+    auto lhs = a.out_[v];
+    auto rhs = b.out_[v];
+    std::sort(lhs.begin(), lhs.end());
+    std::sort(rhs.begin(), rhs.end());
+    if (lhs != rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace acolay::graph

@@ -1,0 +1,117 @@
+// Directed-graph container — the substrate the paper obtained from LEDA 5.0
+// (GRAPH<int,int>). acolay is self-contained, so we provide our own compact
+// adjacency-list digraph with the per-vertex attributes the layering problem
+// needs: a drawing width (paper §II: "the width of the rectangle enclosing
+// the vertex", defaulting to one unit) and an optional text label.
+//
+// Vertices are dense integer ids 0..n-1; edges (u, v) are directed u -> v.
+// In layering convention (paper §II) an edge (u, v) demands
+// layer(u) > layer(v): sources end up on high layers, sinks on layer 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace acolay::graph {
+
+using VertexId = std::int32_t;
+
+/// An edge as a (source, target) pair.
+struct Edge {
+  VertexId source = -1;
+  VertexId target = -1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Simple directed graph (no self-loops; parallel edges rejected by default).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates `n` vertices with unit width and empty labels.
+  explicit Digraph(std::size_t n) { add_vertices(n); }
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds one vertex; returns its id.
+  VertexId add_vertex(double width = 1.0, std::string label = {});
+
+  /// Adds `count` unit-width vertices.
+  void add_vertices(std::size_t count);
+
+  /// Adds edge u -> v. Self-loops are contract violations. Returns false
+  /// (and leaves the graph unchanged) if the edge already exists.
+  bool add_edge(VertexId u, VertexId v);
+
+  void reserve(std::size_t vertices, std::size_t edges);
+
+  // --- topology -----------------------------------------------------------
+
+  std::size_t num_vertices() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  bool has_vertex(VertexId v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < out_.size();
+  }
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Immediate successors N+(v): targets of out-edges.
+  std::span<const VertexId> successors(VertexId v) const {
+    check_vertex(v);
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+  /// Immediate predecessors N-(v): sources of in-edges.
+  std::span<const VertexId> predecessors(VertexId v) const {
+    check_vertex(v);
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  std::size_t out_degree(VertexId v) const { return successors(v).size(); }
+  std::size_t in_degree(VertexId v) const { return predecessors(v).size(); }
+  std::size_t degree(VertexId v) const {
+    return out_degree(v) + in_degree(v);
+  }
+
+  /// All edges in (source-major) order.
+  std::vector<Edge> edges() const;
+
+  // --- attributes ---------------------------------------------------------
+
+  double width(VertexId v) const {
+    check_vertex(v);
+    return width_[static_cast<std::size_t>(v)];
+  }
+  void set_width(VertexId v, double width);
+
+  const std::string& label(VertexId v) const {
+    check_vertex(v);
+    return label_[static_cast<std::size_t>(v)];
+  }
+  void set_label(VertexId v, std::string label);
+
+  /// Sum of all vertex widths (the trivial upper bound on layering width).
+  double total_vertex_width() const;
+
+  friend bool operator==(const Digraph& a, const Digraph& b);
+
+ private:
+  void check_vertex(VertexId v) const {
+    ACOLAY_CHECK_MSG(has_vertex(v), "vertex " << v << " out of range (n="
+                                              << out_.size() << ")");
+  }
+
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;
+  std::vector<double> width_;
+  std::vector<std::string> label_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace acolay::graph

@@ -1,0 +1,50 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace acolay::graph {
+
+DegreeStats degree_stats(const Digraph& g) {
+  DegreeStats stats;
+  const auto n = g.num_vertices();
+  if (n == 0) return stats;
+  for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    stats.max_in = std::max(stats.max_in, g.in_degree(v));
+    stats.max_out = std::max(stats.max_out, g.out_degree(v));
+  }
+  stats.mean_in = static_cast<double>(g.num_edges()) / static_cast<double>(n);
+  stats.mean_total = 2.0 * stats.mean_in;
+  return stats;
+}
+
+double edges_per_vertex(const Digraph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  return static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_vertices());
+}
+
+int dag_depth(const Digraph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto dist = longest_path_to_sink(g);
+  return *std::max_element(dist.begin(), dist.end());
+}
+
+std::size_t source_sink_pairs(const Digraph& g) {
+  const auto closure = transitive_closure(g);
+  const auto src = sources(g);
+  const auto snk = sinks(g);
+  std::size_t pairs = 0;
+  for (const VertexId s : src) {
+    for (const VertexId t : snk) {
+      if (s == t || closure[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(t)]) {
+        ++pairs;
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace acolay::graph

@@ -1,0 +1,32 @@
+// Structural statistics of digraphs — used to validate that the synthetic
+// corpus matches the AT&T/Rome graph characteristics it substitutes for
+// (sparsity, degree distribution, path depth), and by the harness reports.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace acolay::graph {
+
+struct DegreeStats {
+  std::size_t max_in = 0;
+  std::size_t max_out = 0;
+  double mean_in = 0.0;   // == mean_out == |E|/|V|
+  double mean_total = 0.0;
+};
+
+DegreeStats degree_stats(const Digraph& g);
+
+/// |E| / |V| — the sparsity measure used to calibrate the corpus generator.
+double edges_per_vertex(const Digraph& g);
+
+/// Longest directed path length in edges (the LPL height minus one).
+/// Requires a DAG.
+int dag_depth(const Digraph& g);
+
+/// Number of (source, sink) reachable pairs — a cheap proxy for how "layered"
+/// the DAG naturally is. Requires a DAG.
+std::size_t source_sink_pairs(const Digraph& g);
+
+}  // namespace acolay::graph

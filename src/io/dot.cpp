@@ -1,0 +1,228 @@
+#include "io/dot.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace acolay::io {
+
+namespace {
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+/// Minimal DOT tokenizer: identifiers, numbers, quoted strings, punctuation.
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  /// Next token, or empty string at end of input.
+  std::string next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return {};
+    const char ch = text_[pos_];
+    if (ch == '"') return read_quoted();
+    if (std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_' ||
+        ch == '.' || ch == '-') {
+      // '-' might start '->'.
+      if (ch == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+        pos_ += 2;
+        return "->";
+      }
+      return read_word();
+    }
+    ++pos_;
+    return std::string(1, ch);
+  }
+
+  std::string peek() {
+    const std::size_t saved = pos_;
+    std::string token = next();
+    pos_ = saved;
+    return token;
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+        ++pos_;
+      } else if (ch == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (ch == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string read_quoted() {
+    ACOLAY_CHECK(text_[pos_] == '"');
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    ACOLAY_CHECK_MSG(pos_ < text_.size(), "unterminated string in DOT input");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string read_word() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_' ||
+          ch == '.' ||
+          (ch == '-' && out.empty())) {  // leading minus for numbers
+        out += ch;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    ACOLAY_CHECK_MSG(!out.empty(), "unexpected character '"
+                                       << text_[pos_] << "' in DOT input");
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+using Attrs = std::map<std::string, std::string>;
+
+Attrs parse_attrs(Tokenizer& tok) {
+  Attrs attrs;
+  // Caller consumed '['.
+  for (;;) {
+    std::string key = tok.next();
+    if (key == "]") return attrs;
+    ACOLAY_CHECK_MSG(!key.empty(), "unterminated attribute list");
+    if (key == "," || key == ";") continue;
+    const std::string eq = tok.next();
+    ACOLAY_CHECK_MSG(eq == "=", "expected '=' after attribute '" << key
+                                                                 << "'");
+    attrs[key] = tok.next();
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const graph::Digraph& g, const DotWriteOptions& opts) {
+  std::ostringstream os;
+  os << "digraph " << (opts.graph_name.empty() ? "G" : opts.graph_name)
+     << " {\n";
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    os << "  n" << v << " [";
+    os << "label=" << quote(g.label(v).empty() ? ("n" + std::to_string(v))
+                                               : g.label(v));
+    if (opts.include_widths) os << ", width=" << g.width(v);
+    os << "];\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << " -> n" << v << ";\n";
+  }
+  if (opts.layering != nullptr) {
+    const auto members = opts.layering->members();
+    // Top layer first: DOT ranks run top-down, acolay layers bottom-up.
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      if (it->empty()) continue;
+      os << "  { rank=same;";
+      for (const auto v : *it) os << " n" << v << ";";
+      os << " }\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+graph::Digraph from_dot(const std::string& text) {
+  Tokenizer tok(text);
+  std::string token = tok.next();
+  if (token == "strict") token = tok.next();
+  ACOLAY_CHECK_MSG(token == "digraph",
+                   "expected 'digraph', got '" << token << "'");
+  token = tok.next();
+  if (token != "{") token = tok.next();  // optional graph name
+  ACOLAY_CHECK_MSG(token == "{", "expected '{' after digraph header");
+
+  graph::Digraph g;
+  std::map<std::string, graph::VertexId> ids;
+  const auto intern = [&](const std::string& name) {
+    const auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const auto id = g.add_vertex(1.0, name);
+    ids.emplace(name, id);
+    return id;
+  };
+  const auto apply_attrs = [&](graph::VertexId v, const Attrs& attrs) {
+    const auto label = attrs.find("label");
+    if (label != attrs.end()) g.set_label(v, label->second);
+    const auto width = attrs.find("width");
+    if (width != attrs.end()) {
+      try {
+        g.set_width(v, std::stod(width->second));
+      } catch (const std::exception&) {
+        ACOLAY_CHECK_MSG(false, "bad width value '" << width->second << "'");
+      }
+    }
+  };
+
+  for (;;) {
+    token = tok.next();
+    if (token == "}") break;
+    ACOLAY_CHECK_MSG(!token.empty(), "unterminated digraph body");
+    if (token == ";") continue;
+    // Skip graph-level attribute statements: graph/node/edge [..].
+    if (token == "graph" || token == "node" || token == "edge") {
+      if (tok.peek() == "[") {
+        tok.next();
+        (void)parse_attrs(tok);
+      }
+      continue;
+    }
+    // `token` is a node id; might start an edge chain.
+    graph::VertexId current = intern(token);
+    bool was_edge = false;
+    while (tok.peek() == "->") {
+      tok.next();
+      const std::string target_name = tok.next();
+      ACOLAY_CHECK_MSG(!target_name.empty() && target_name != ";",
+                       "dangling '->'");
+      const graph::VertexId target = intern(target_name);
+      g.add_edge(current, target);  // duplicate edges folded
+      current = target;
+      was_edge = true;
+    }
+    if (tok.peek() == "[") {
+      tok.next();
+      const Attrs attrs = parse_attrs(tok);
+      if (!was_edge) apply_attrs(current, attrs);
+      // Edge attributes are accepted and ignored.
+    }
+  }
+  return g;
+}
+
+}  // namespace acolay::io

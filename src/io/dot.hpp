@@ -1,0 +1,40 @@
+// Graphviz DOT reading and writing.
+//
+// Writer: emits a `digraph` with vertex labels/widths and, when a layering
+// is supplied, one `{rank=same; ...}` group per layer so dot(1) renders the
+// acolay layering directly.
+//
+// Parser: a deliberate subset of the DOT grammar sufficient for exchange
+// with other tools and for test fixtures:
+//   digraph NAME? { stmt* }   where stmt is
+//     node_id [attrs]?;                  (vertex declaration)
+//     node_id -> node_id (-> node_id)* [attrs]?;   (edge chain)
+//   attrs: key=value pairs, comma/space separated; quoted strings with
+//   backslash escapes; // and /* */ comments; `label` and `width` attrs are
+//   mapped onto the Digraph, everything else is ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::io {
+
+struct DotWriteOptions {
+  std::string graph_name = "acolay";
+  /// Emit rank=same groups from this layering (nullptr: none).
+  const layering::Layering* layering = nullptr;
+  /// Emit width attributes.
+  bool include_widths = true;
+};
+
+/// Serialises g as DOT.
+std::string to_dot(const graph::Digraph& g, const DotWriteOptions& opts = {});
+
+/// Parses the DOT subset described above. Vertex ids are assigned in order
+/// of first appearance. Throws support::CheckError on malformed input.
+graph::Digraph from_dot(const std::string& text);
+
+}  // namespace acolay::io

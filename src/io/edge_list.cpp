@@ -1,0 +1,62 @@
+#include "io/edge_list.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace acolay::io {
+
+std::string to_edge_list(const graph::Digraph& g) {
+  std::ostringstream os;
+  os << "n " << g.num_vertices() << "\n";
+  for (const auto& [u, v] : g.edges()) os << u << ' ' << v << "\n";
+  return os.str();
+}
+
+graph::Digraph from_edge_list(const std::string& text) {
+  graph::Digraph g;
+  std::size_t declared = 0;
+  bool has_declared = false;
+  std::istringstream is(text);
+  std::string line;
+  std::vector<std::pair<long, long>> edges;
+  long max_id = -1;
+  while (std::getline(is, line)) {
+    const auto trimmed = support::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = support::split_whitespace(trimmed);
+    if (parts.size() == 2 && parts[0] == "n") {
+      declared = static_cast<std::size_t>(std::stoul(parts[1]));
+      has_declared = true;
+      continue;
+    }
+    ACOLAY_CHECK_MSG(parts.size() == 2,
+                     "bad edge-list line: '" << std::string(trimmed) << "'");
+    long u = 0, v = 0;
+    try {
+      u = std::stol(parts[0]);
+      v = std::stol(parts[1]);
+    } catch (const std::exception&) {
+      ACOLAY_CHECK_MSG(false, "non-numeric edge endpoint in '"
+                                  << std::string(trimmed) << "'");
+    }
+    ACOLAY_CHECK_MSG(u >= 0 && v >= 0, "negative vertex id");
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  const std::size_t n =
+      has_declared ? declared : static_cast<std::size_t>(max_id + 1);
+  ACOLAY_CHECK_MSG(max_id < static_cast<long>(n),
+                   "edge endpoint " << max_id
+                                    << " exceeds declared vertex count " << n);
+  g.add_vertices(n);
+  for (const auto& [u, v] : edges) {
+    g.add_edge(static_cast<graph::VertexId>(u),
+               static_cast<graph::VertexId>(v));
+  }
+  return g;
+}
+
+}  // namespace acolay::io

@@ -1,0 +1,16 @@
+// Plain edge-list exchange format: one `u v` pair per line (0-based ids),
+// `#` comments, blank lines ignored. An optional leading `n <count>` line
+// pins the vertex count (for isolated vertices).
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace acolay::io {
+
+std::string to_edge_list(const graph::Digraph& g);
+
+graph::Digraph from_edge_list(const std::string& text);
+
+}  // namespace acolay::io

@@ -1,0 +1,210 @@
+#include "io/gml.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace acolay::io {
+
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kNumber, kString, kOpen, kClose, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '#') {  // comment line
+      while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      return next();
+    }
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, {}};
+    const char ch = text_[pos_];
+    if (ch == '[') {
+      ++pos_;
+      return {Token::Kind::kOpen, "["};
+    }
+    if (ch == ']') {
+      ++pos_;
+      return {Token::Kind::kClose, "]"};
+    }
+    if (ch == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out += text_[pos_++];
+      }
+      ACOLAY_CHECK_MSG(pos_ < text_.size(), "unterminated GML string");
+      ++pos_;
+      return {Token::Kind::kString, out};
+    }
+    std::string out;
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) == 0 &&
+           text_[pos_] != '[' && text_[pos_] != ']') {
+      out += text_[pos_++];
+    }
+    const bool numeric =
+        !out.empty() &&
+        (std::isdigit(static_cast<unsigned char>(out[0])) != 0 ||
+         out[0] == '-' || out[0] == '+' || out[0] == '.');
+    return {numeric ? Token::Kind::kNumber : Token::Kind::kWord, out};
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Skips a value (scalar or bracketed section).
+void skip_value(Lexer& lex, const Token& value) {
+  if (value.kind != Token::Kind::kOpen) return;
+  int depth = 1;
+  while (depth > 0) {
+    const Token t = lex.next();
+    ACOLAY_CHECK_MSG(t.kind != Token::Kind::kEnd, "unterminated GML section");
+    if (t.kind == Token::Kind::kOpen) ++depth;
+    if (t.kind == Token::Kind::kClose) --depth;
+  }
+}
+
+}  // namespace
+
+std::string to_gml(const graph::Digraph& g) {
+  std::ostringstream os;
+  os << "graph [\n  directed 1\n";
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    os << "  node [\n    id " << v << "\n    label \"";
+    for (const char ch : g.label(v)) {
+      if (ch == '"' || ch == '\\') os << '\\';
+      os << ch;
+    }
+    os << "\"\n    width " << g.width(v) << "\n  ]\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  edge [\n    source " << u << "\n    target " << v << "\n  ]\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+graph::Digraph from_gml(const std::string& text) {
+  Lexer lex(text);
+  // Find `graph [`.
+  Token token = lex.next();
+  while (token.kind != Token::Kind::kEnd &&
+         !(token.kind == Token::Kind::kWord && token.text == "graph")) {
+    token = lex.next();
+  }
+  ACOLAY_CHECK_MSG(token.kind != Token::Kind::kEnd,
+                   "no 'graph [' section in GML input");
+  token = lex.next();
+  ACOLAY_CHECK_MSG(token.kind == Token::Kind::kOpen,
+                   "expected '[' after 'graph'");
+
+  graph::Digraph g;
+  std::map<long, graph::VertexId> ids;
+  struct PendingEdge {
+    long source = 0, target = 0;
+    bool has_source = false, has_target = false;
+  };
+  std::vector<PendingEdge> edges;
+
+  const auto intern = [&](long gml_id) {
+    const auto it = ids.find(gml_id);
+    if (it != ids.end()) return it->second;
+    const auto id = g.add_vertex();
+    ids.emplace(gml_id, id);
+    return id;
+  };
+
+  for (;;) {
+    token = lex.next();
+    if (token.kind == Token::Kind::kClose) break;
+    ACOLAY_CHECK_MSG(token.kind == Token::Kind::kWord,
+                     "expected key in graph section, got '" << token.text
+                                                            << "'");
+    const std::string key = token.text;
+    const Token value = lex.next();
+    if (key == "node") {
+      ACOLAY_CHECK_MSG(value.kind == Token::Kind::kOpen,
+                       "expected '[' after 'node'");
+      long gml_id = -1;
+      bool has_id = false;
+      std::string label;
+      double width = 1.0;
+      for (;;) {
+        const Token nk = lex.next();
+        if (nk.kind == Token::Kind::kClose) break;
+        ACOLAY_CHECK_MSG(nk.kind == Token::Kind::kWord,
+                         "expected key in node section");
+        const Token nv = lex.next();
+        if (nk.text == "id" && nv.kind == Token::Kind::kNumber) {
+          gml_id = std::stol(nv.text);
+          has_id = true;
+        } else if (nk.text == "label" &&
+                   (nv.kind == Token::Kind::kString ||
+                    nv.kind == Token::Kind::kNumber)) {
+          label = nv.text;
+        } else if (nk.text == "width" && nv.kind == Token::Kind::kNumber) {
+          width = std::stod(nv.text);
+        } else {
+          skip_value(lex, nv);
+        }
+      }
+      ACOLAY_CHECK_MSG(has_id, "GML node without id");
+      const auto v = intern(gml_id);
+      g.set_label(v, label);
+      g.set_width(v, width);
+    } else if (key == "edge") {
+      ACOLAY_CHECK_MSG(value.kind == Token::Kind::kOpen,
+                       "expected '[' after 'edge'");
+      PendingEdge edge;
+      for (;;) {
+        const Token ek = lex.next();
+        if (ek.kind == Token::Kind::kClose) break;
+        ACOLAY_CHECK_MSG(ek.kind == Token::Kind::kWord,
+                         "expected key in edge section");
+        const Token ev = lex.next();
+        if (ek.text == "source" && ev.kind == Token::Kind::kNumber) {
+          edge.source = std::stol(ev.text);
+          edge.has_source = true;
+        } else if (ek.text == "target" && ev.kind == Token::Kind::kNumber) {
+          edge.target = std::stol(ev.text);
+          edge.has_target = true;
+        } else {
+          skip_value(lex, ev);
+        }
+      }
+      ACOLAY_CHECK_MSG(edge.has_source && edge.has_target,
+                       "GML edge missing source/target");
+      edges.push_back(edge);
+    } else {
+      skip_value(lex, value);
+    }
+  }
+
+  for (const auto& edge : edges) {
+    const auto u = intern(edge.source);
+    const auto v = intern(edge.target);
+    ACOLAY_CHECK_MSG(u != v, "GML self-loop on id " << edge.source);
+    g.add_edge(u, v);  // parallel edges folded
+  }
+  return g;
+}
+
+}  // namespace acolay::io

@@ -1,0 +1,29 @@
+// GML (Graph Modelling Language) reading and writing — the format the
+// paper's AT&T/Rome corpus is distributed in (graphdrawing.org). Supporting
+// it means a user with the original corpus can run the acolay benches on
+// the authors' actual inputs.
+//
+// Supported structure:
+//   graph [
+//     directed 1
+//     node [ id <int> label "<text>" (width <num>)? ... ]
+//     edge [ source <int> target <int> ... ]
+//   ]
+// Unknown keys and nested sections (e.g. `graphics [...]`) are skipped.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace acolay::io {
+
+/// Serialises g as directed GML (node ids are the vertex ids).
+std::string to_gml(const graph::Digraph& g);
+
+/// Parses the GML subset above. Node ids may be arbitrary integers; they
+/// are remapped to dense vertex ids in order of appearance. Throws
+/// support::CheckError on malformed input.
+graph::Digraph from_gml(const std::string& text);
+
+}  // namespace acolay::io

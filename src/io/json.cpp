@@ -1,0 +1,87 @@
+#include "io/json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace acolay::io {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const graph::Digraph& g) {
+  std::ostringstream os;
+  os << "{\"num_vertices\":" << g.num_vertices() << ",\"vertices\":[";
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    if (v > 0) os << ',';
+    os << "{\"id\":" << v << ",\"label\":\"" << json_escape(g.label(v))
+       << "\",\"width\":" << g.width(v) << '}';
+  }
+  os << "],\"edges\":[";
+  bool first = true;
+  for (const auto& [u, v] : g.edges()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"source\":" << u << ",\"target\":" << v << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_json(const layering::Layering& l) {
+  std::ostringstream os;
+  os << "{\"layers\":[";
+  for (std::size_t v = 0; v < l.num_vertices(); ++v) {
+    if (v > 0) os << ',';
+    os << l.layer(static_cast<graph::VertexId>(v));
+  }
+  os << "],\"height\":" << l.occupied_layer_count() << '}';
+  return os.str();
+}
+
+std::string to_json(const layering::LayeringMetrics& m) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"height\":" << m.height
+     << ",\"width_incl_dummies\":" << m.width_incl_dummies
+     << ",\"width_excl_dummies\":" << m.width_excl_dummies
+     << ",\"dummy_count\":" << m.dummy_count
+     << ",\"total_span\":" << m.total_span
+     << ",\"edge_density\":" << m.edge_density
+     << ",\"edge_density_norm\":" << m.edge_density_norm
+     << ",\"objective\":" << m.objective << '}';
+  return os.str();
+}
+
+std::string layering_report_json(const graph::Digraph& g,
+                                 const layering::Layering& l,
+                                 const layering::MetricsOptions& opts) {
+  std::ostringstream os;
+  os << "{\"graph\":" << to_json(g) << ",\"layering\":" << to_json(l)
+     << ",\"metrics\":" << to_json(layering::compute_metrics(g, l, opts))
+     << '}';
+  return os.str();
+}
+
+}  // namespace acolay::io

@@ -1,0 +1,32 @@
+// JSON export of graphs, layerings, and metrics — the exchange format for
+// notebooks/dashboards consuming acolay results. Writer only (acolay never
+// needs to read its own reports back); strings are escaped per RFC 8259.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+#include "layering/metrics.hpp"
+
+namespace acolay::io {
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& text);
+
+/// {"num_vertices": n, "vertices": [{"id","label","width"}...],
+///  "edges": [{"source","target"}...]}
+std::string to_json(const graph::Digraph& g);
+
+/// {"layers": [l_0, l_1, ...], "height": h}  (1-based layers by vertex id)
+std::string to_json(const layering::Layering& l);
+
+/// All LayeringMetrics fields as one flat object.
+std::string to_json(const layering::LayeringMetrics& m);
+
+/// Combined report: {"graph":..., "layering":..., "metrics":...}.
+std::string layering_report_json(const graph::Digraph& g,
+                                 const layering::Layering& l,
+                                 const layering::MetricsOptions& opts = {});
+
+}  // namespace acolay::io

@@ -1,0 +1,62 @@
+// Incremental per-layer width bookkeeping — the paper's Algorithm 5
+// ("Updating Layer Widths").
+//
+// Each ant keeps its own copy of the layer widths and, after every vertex
+// move, updates only the affected layers instead of recomputing the whole
+// profile. For a move of v from layer c to layer t within v's layer span:
+//
+//   moving v itself:      W(c) -= w(v);  W(t) += w(v)
+//   moving up (t > c):    out-edges of v lengthen: W(l) += nd * outdeg(v)
+//                           for l in [c, t-1]
+//                         in-edges shorten:        W(l) -= nd * indeg(v)
+//                           for l in [c+1, t]
+//   moving down (t < c):  out-edges shorten:       W(l) -= nd * outdeg(v)
+//                           for l in [t, c-1]
+//                         in-edges lengthen:       W(l) += nd * indeg(v)
+//                           for l in [t+1, c]
+//
+// Correctness requires t to lie inside v's layer span (all successors
+// strictly below min(c,t), all predecessors strictly above max(c,t)) — which
+// the ant guarantees by choosing from the span. The update is validated
+// against the from-scratch layer_width_profile in property tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::layering {
+
+class LayerWidths {
+ public:
+  /// Builds the width profile of `l` over `num_layers` layers (>= max
+  /// layer), including dummy contributions at `dummy_width` per dummy.
+  LayerWidths(const graph::Digraph& g, const Layering& l, int num_layers,
+              double dummy_width);
+
+  int num_layers() const { return static_cast<int>(width_.size()); }
+  double dummy_width() const { return dummy_width_; }
+
+  double width(int layer) const {
+    ACOLAY_CHECK_MSG(layer >= 1 && layer <= num_layers(),
+                     "layer " << layer << " out of range");
+    return width_[static_cast<std::size_t>(layer - 1)];
+  }
+
+  /// Maximum width over all layers (O(num_layers)).
+  double max_width() const;
+
+  /// Applies the Algorithm 5 update for moving `v` from layer `from` to
+  /// layer `to`. Both layers must be within range; `from == to` is a no-op.
+  void apply_move(const graph::Digraph& g, graph::VertexId v, int from,
+                  int to);
+
+  const std::vector<double>& profile() const { return width_; }
+
+ private:
+  std::vector<double> width_;
+  double dummy_width_;
+};
+
+}  // namespace acolay::layering

@@ -1,0 +1,100 @@
+#include "layering/layering.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace acolay::layering {
+
+Layering::Layering(std::size_t n, int initial_layer)
+    : layer_(n, initial_layer) {
+  ACOLAY_CHECK(initial_layer >= 1);
+}
+
+Layering Layering::from_vector(std::vector<int> layers) {
+  for (const int l : layers) {
+    ACOLAY_CHECK_MSG(l >= 1, "layers are 1-based, got " << l);
+  }
+  Layering result;
+  result.layer_ = std::move(layers);
+  return result;
+}
+
+int Layering::max_layer() const {
+  int maximum = 0;
+  for (const int l : layer_) maximum = std::max(maximum, l);
+  return maximum;
+}
+
+int Layering::occupied_layer_count() const {
+  std::vector<int> sorted = layer_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return static_cast<int>(sorted.size());
+}
+
+std::vector<std::vector<graph::VertexId>> Layering::members(
+    int num_layers) const {
+  const int layers = std::max(num_layers, max_layer());
+  std::vector<std::vector<graph::VertexId>> result(
+      static_cast<std::size_t>(layers));
+  for (std::size_t v = 0; v < layer_.size(); ++v) {
+    result[static_cast<std::size_t>(layer_[v] - 1)].push_back(
+        static_cast<graph::VertexId>(v));
+  }
+  return result;
+}
+
+bool is_valid_layering(const graph::Digraph& g, const Layering& l) {
+  return validate_layering(g, l).empty();
+}
+
+std::string validate_layering(const graph::Digraph& g, const Layering& l) {
+  if (l.num_vertices() != g.num_vertices()) {
+    std::ostringstream os;
+    os << "layering covers " << l.num_vertices() << " vertices, graph has "
+       << g.num_vertices();
+    return os.str();
+  }
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    if (l.layer(v) < 1) {
+      std::ostringstream os;
+      os << "vertex " << v << " on layer " << l.layer(v) << " < 1";
+      return os.str();
+    }
+  }
+  for (const auto& [u, v] : g.edges()) {
+    if (l.layer(u) <= l.layer(v)) {
+      std::ostringstream os;
+      os << "edge (" << u << " -> " << v << ") has layer(" << u
+         << ")=" << l.layer(u) << " <= layer(" << v << ")=" << l.layer(v);
+      return os.str();
+    }
+  }
+  return {};
+}
+
+int normalize(Layering& l) {
+  if (l.num_vertices() == 0) return 0;
+  std::vector<int> occupied = l.raw();
+  std::sort(occupied.begin(), occupied.end());
+  occupied.erase(std::unique(occupied.begin(), occupied.end()),
+                 occupied.end());
+  const int removed = l.max_layer() - static_cast<int>(occupied.size());
+  // Map old layer -> dense 1-based rank.
+  for (std::size_t v = 0; v < l.num_vertices(); ++v) {
+    const auto id = static_cast<graph::VertexId>(v);
+    const auto it =
+        std::lower_bound(occupied.begin(), occupied.end(), l.layer(id));
+    l.set_layer(id, static_cast<int>(it - occupied.begin()) + 1);
+  }
+  return removed;
+}
+
+Layering normalized(const Layering& l) {
+  Layering copy = l;
+  normalize(copy);
+  return copy;
+}
+
+}  // namespace acolay::layering

@@ -1,0 +1,83 @@
+// The Layering type (paper §II): a partition of V into layers L1..Lh such
+// that every edge (u, v) satisfies layer(u) > layer(v) — layer 1 at the
+// bottom holding sinks, edges pointing downwards.
+//
+// A Layering stores one integer layer per vertex. It deliberately does NOT
+// enforce validity on mutation: the ACO ants move vertices one at a time and
+// validity is maintained by construction (layer spans); algorithms under
+// test are checked with validate_layering / is_valid_layering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace acolay::layering {
+
+class Layering {
+ public:
+  Layering() = default;
+
+  /// n vertices, all on `initial_layer`.
+  explicit Layering(std::size_t n, int initial_layer = 1);
+
+  /// Wraps an explicit assignment (1-based layers).
+  static Layering from_vector(std::vector<int> layers);
+
+  std::size_t num_vertices() const { return layer_.size(); }
+
+  int layer(graph::VertexId v) const {
+    check_vertex(v);
+    return layer_[static_cast<std::size_t>(v)];
+  }
+
+  void set_layer(graph::VertexId v, int layer) {
+    check_vertex(v);
+    ACOLAY_CHECK_MSG(layer >= 1, "layers are 1-based, got " << layer);
+    layer_[static_cast<std::size_t>(v)] = layer;
+  }
+
+  /// Highest layer index in use (0 for an empty layering). Note this counts
+  /// *index*, not occupied layers; see occupied_layer_count.
+  int max_layer() const;
+
+  /// Number of distinct non-empty layers — the paper's layering *height*
+  /// once the layering is normalized.
+  int occupied_layer_count() const;
+
+  /// Vertices per layer, index 0 holding layer 1. `num_layers` pads the
+  /// result to at least that many layers (0 = max_layer()).
+  std::vector<std::vector<graph::VertexId>> members(int num_layers = 0) const;
+
+  const std::vector<int>& raw() const { return layer_; }
+
+  friend bool operator==(const Layering&, const Layering&) = default;
+
+ private:
+  void check_vertex(graph::VertexId v) const {
+    ACOLAY_CHECK_MSG(
+        v >= 0 && static_cast<std::size_t>(v) < layer_.size(),
+        "vertex " << v << " out of range (n=" << layer_.size() << ")");
+  }
+
+  std::vector<int> layer_;
+};
+
+/// True iff every vertex sits on a layer >= 1 and every edge (u, v) has
+/// layer(u) > layer(v).
+bool is_valid_layering(const graph::Digraph& g, const Layering& l);
+
+/// Empty string when valid; otherwise a human-readable description of the
+/// first violation found.
+std::string validate_layering(const graph::Digraph& g, const Layering& l);
+
+/// Removes empty layers by relabelling occupied layers to 1..h (order
+/// preserved) — the paper's §VI "Note" post-processing step. Returns the
+/// number of empty layers removed. Validity is preserved.
+int normalize(Layering& l);
+
+/// Copying variant of normalize.
+Layering normalized(const Layering& l);
+
+}  // namespace acolay::layering

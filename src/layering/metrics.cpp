@@ -1,0 +1,145 @@
+#include "layering/metrics.hpp"
+
+#include <algorithm>
+
+namespace acolay::layering {
+
+std::vector<double> layer_width_profile(const graph::Digraph& g,
+                                        const Layering& l,
+                                        double dummy_width,
+                                        bool include_dummies) {
+  const int max_layer = l.max_layer();
+  std::vector<double> width(static_cast<std::size_t>(max_layer), 0.0);
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    width[static_cast<std::size_t>(l.layer(v) - 1)] += g.width(v);
+  }
+  if (include_dummies && dummy_width > 0.0) {
+    // Difference array over the layers each edge strictly crosses:
+    // layers layer(v)+1 .. layer(u)-1 for edge (u, v).
+    std::vector<double> diff(static_cast<std::size_t>(max_layer) + 1, 0.0);
+    for (const auto& [u, v] : g.edges()) {
+      const int from = l.layer(v) + 1;  // first crossed layer
+      const int to = l.layer(u) - 1;    // last crossed layer
+      if (from > to) continue;
+      diff[static_cast<std::size_t>(from - 1)] += dummy_width;
+      diff[static_cast<std::size_t>(to)] -= dummy_width;
+    }
+    double running = 0.0;
+    for (int layer = 0; layer < max_layer; ++layer) {
+      running += diff[static_cast<std::size_t>(layer)];
+      width[static_cast<std::size_t>(layer)] += running;
+    }
+  }
+  return width;
+}
+
+std::vector<std::int64_t> dummies_per_layer(const graph::Digraph& g,
+                                            const Layering& l) {
+  const int max_layer = l.max_layer();
+  std::vector<std::int64_t> diff(static_cast<std::size_t>(max_layer) + 1, 0);
+  for (const auto& [u, v] : g.edges()) {
+    const int from = l.layer(v) + 1;
+    const int to = l.layer(u) - 1;
+    if (from > to) continue;
+    diff[static_cast<std::size_t>(from - 1)] += 1;
+    diff[static_cast<std::size_t>(to)] -= 1;
+  }
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_layer), 0);
+  std::int64_t running = 0;
+  for (int layer = 0; layer < max_layer; ++layer) {
+    running += diff[static_cast<std::size_t>(layer)];
+    counts[static_cast<std::size_t>(layer)] = running;
+  }
+  return counts;
+}
+
+double layering_width(const graph::Digraph& g, const Layering& l,
+                      const MetricsOptions& opts) {
+  const auto profile =
+      layer_width_profile(g, l, opts.dummy_width, /*include_dummies=*/true);
+  if (profile.empty()) return 0.0;
+  return *std::max_element(profile.begin(), profile.end());
+}
+
+double layering_width_real(const graph::Digraph& g, const Layering& l) {
+  const auto profile =
+      layer_width_profile(g, l, 0.0, /*include_dummies=*/false);
+  if (profile.empty()) return 0.0;
+  return *std::max_element(profile.begin(), profile.end());
+}
+
+int layering_height(const Layering& l) { return l.occupied_layer_count(); }
+
+std::int64_t dummy_vertex_count(const graph::Digraph& g, const Layering& l) {
+  std::int64_t count = 0;
+  for (const auto& [u, v] : g.edges()) {
+    count += static_cast<std::int64_t>(l.layer(u) - l.layer(v)) - 1;
+  }
+  return count;
+}
+
+std::int64_t total_edge_span(const graph::Digraph& g, const Layering& l) {
+  std::int64_t span = 0;
+  for (const auto& [u, v] : g.edges()) {
+    span += static_cast<std::int64_t>(l.layer(u) - l.layer(v));
+  }
+  return span;
+}
+
+std::vector<std::int64_t> edges_per_gap(const graph::Digraph& g,
+                                        const Layering& l) {
+  const int max_layer = l.max_layer();
+  if (max_layer <= 1) return {};
+  // Edge (u, v) crosses every gap i with layer(v) <= i < layer(u); gaps are
+  // indexed 1..max_layer-1 (gap i lies between layers i and i+1).
+  std::vector<std::int64_t> diff(static_cast<std::size_t>(max_layer) + 1, 0);
+  for (const auto& [u, v] : g.edges()) {
+    const int first_gap = l.layer(v);
+    const int last_gap = l.layer(u) - 1;
+    diff[static_cast<std::size_t>(first_gap - 1)] += 1;
+    diff[static_cast<std::size_t>(last_gap)] -= 1;
+  }
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_layer - 1), 0);
+  std::int64_t running = 0;
+  for (int gap = 0; gap < max_layer - 1; ++gap) {
+    running += diff[static_cast<std::size_t>(gap)];
+    counts[static_cast<std::size_t>(gap)] = running;
+  }
+  return counts;
+}
+
+std::int64_t edge_density(const graph::Digraph& g, const Layering& l) {
+  const auto gaps = edges_per_gap(g, l);
+  if (gaps.empty()) return 0;
+  return *std::max_element(gaps.begin(), gaps.end());
+}
+
+double edge_density_normalized(const graph::Digraph& g, const Layering& l) {
+  if (g.num_edges() == 0) return 0.0;
+  return static_cast<double>(edge_density(g, l)) /
+         static_cast<double>(g.num_edges());
+}
+
+double layering_objective(const graph::Digraph& g, const Layering& l,
+                          const MetricsOptions& opts) {
+  const double h = static_cast<double>(layering_height(l));
+  const double w = layering_width(g, l, opts);
+  return 1.0 / (h + w);
+}
+
+LayeringMetrics compute_metrics(const graph::Digraph& g, const Layering& l,
+                                const MetricsOptions& opts) {
+  LayeringMetrics m;
+  m.height = layering_height(l);
+  m.width_incl_dummies = layering_width(g, l, opts);
+  m.width_excl_dummies = layering_width_real(g, l);
+  m.dummy_count = dummy_vertex_count(g, l);
+  m.total_span = total_edge_span(g, l);
+  m.edge_density = edge_density(g, l);
+  m.edge_density_norm = edge_density_normalized(g, l);
+  m.objective = 1.0 / (static_cast<double>(m.height) + m.width_incl_dummies);
+  return m;
+}
+
+}  // namespace acolay::layering

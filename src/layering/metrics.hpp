@@ -1,0 +1,92 @@
+// Layering quality metrics — the five criteria of the paper's evaluation
+// (§VII): width including dummies, width excluding dummies, height, dummy
+// vertex count, and edge density; plus the objective function the ants
+// maximise, f = 1 / (H + W) (paper Alg. 4 line 13).
+//
+// Definitions (paper §II):
+//  * width of a layer = sum of widths of its vertices, dummy vertices
+//    included (a dummy on layer l exists for every edge (u, v) with
+//    layer(v) < l < layer(u));
+//  * width of a layering = maximum layer width;
+//  * height = number of layers used;
+//  * edge density between adjacent levels i, i+1 = number of edges (u, v)
+//    with layer(v) <= i < layer(u); edge density of the layering = maximum
+//    over i.
+//
+// All metrics evaluate the layering as-is: callers that want the paper's
+// numbers on ant output must normalize() first (empty layers removed).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::layering {
+
+struct MetricsOptions {
+  /// Width of one dummy vertex (paper's nd_width; §VIII tunes 0.1..1.2,
+  /// production value 1.0).
+  double dummy_width = 1.0;
+};
+
+/// Per-layer widths, index 0 = layer 1, length = max layer. Includes dummy
+/// contributions when `include_dummies`.
+std::vector<double> layer_width_profile(const graph::Digraph& g,
+                                        const Layering& l,
+                                        double dummy_width,
+                                        bool include_dummies);
+
+/// Number of dummy vertices per layer (edges strictly crossing each layer).
+std::vector<std::int64_t> dummies_per_layer(const graph::Digraph& g,
+                                            const Layering& l);
+
+/// Maximum layer width including dummy vertices.
+double layering_width(const graph::Digraph& g, const Layering& l,
+                      const MetricsOptions& opts = {});
+
+/// Maximum layer width counting real vertices only.
+double layering_width_real(const graph::Digraph& g, const Layering& l);
+
+/// Number of occupied layers.
+int layering_height(const Layering& l);
+
+/// Total dummy vertices: sum over edges of (span - 1).
+std::int64_t dummy_vertex_count(const graph::Digraph& g, const Layering& l);
+
+/// Sum over edges of layer(u) - layer(v). Equals dummy count + |E|.
+std::int64_t total_edge_span(const graph::Digraph& g, const Layering& l);
+
+/// Edge count crossing each gap between layer i and i+1 (index 0 = gap
+/// between layers 1 and 2). Length max(0, max_layer - 1).
+std::vector<std::int64_t> edges_per_gap(const graph::Digraph& g,
+                                        const Layering& l);
+
+/// Paper §II edge density: maximum over adjacent gaps (0 for height <= 1).
+std::int64_t edge_density(const graph::Digraph& g, const Layering& l);
+
+/// Edge density divided by |E| (0 when there are no edges). The paper's
+/// Fig. 8/9 plot a 0..2 range that its raw definition cannot produce; we
+/// report both (see DESIGN.md deviation #2).
+double edge_density_normalized(const graph::Digraph& g, const Layering& l);
+
+/// The ants' objective, f = 1 / (height + width incl. dummies).
+double layering_objective(const graph::Digraph& g, const Layering& l,
+                          const MetricsOptions& opts = {});
+
+/// All criteria in one pass-friendly bundle.
+struct LayeringMetrics {
+  int height = 0;
+  double width_incl_dummies = 0.0;
+  double width_excl_dummies = 0.0;
+  std::int64_t dummy_count = 0;
+  std::int64_t total_span = 0;
+  std::int64_t edge_density = 0;
+  double edge_density_norm = 0.0;
+  double objective = 0.0;
+};
+
+LayeringMetrics compute_metrics(const graph::Digraph& g, const Layering& l,
+                                const MetricsOptions& opts = {});
+
+}  // namespace acolay::layering

@@ -1,0 +1,46 @@
+#include "layering/proper.hpp"
+
+namespace acolay::layering {
+
+ProperGraph make_proper(const graph::Digraph& g, const Layering& l,
+                        double dummy_width) {
+  ACOLAY_CHECK_MSG(is_valid_layering(g, l),
+                   "make_proper requires a valid layering: "
+                       << validate_layering(g, l));
+  ProperGraph result;
+  auto& pg = result.graph;
+  std::vector<int> layers;
+
+  pg.reserve(g.num_vertices(), g.num_edges());
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    pg.add_vertex(g.width(v), g.label(v));
+    layers.push_back(l.layer(v));
+    result.is_dummy.push_back(false);
+  }
+
+  for (const auto& edge : g.edges()) {
+    const auto [u, v] = edge;
+    const int span = l.layer(u) - l.layer(v);
+    if (span == 1) {
+      pg.add_edge(u, v);
+      continue;
+    }
+    // Chain u -> d_{span-1} -> ... -> d_1 -> v with d_i on layer(v) + i.
+    graph::VertexId previous = u;
+    for (int i = span - 1; i >= 1; --i) {
+      const graph::VertexId dummy = pg.add_vertex(dummy_width);
+      layers.push_back(l.layer(v) + i);
+      result.is_dummy.push_back(true);
+      result.dummy_origin.push_back(edge);
+      pg.add_edge(previous, dummy);
+      previous = dummy;
+    }
+    pg.add_edge(previous, v);
+  }
+
+  result.layering = Layering::from_vector(std::move(layers));
+  return result;
+}
+
+}  // namespace acolay::layering

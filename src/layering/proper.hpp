@@ -1,0 +1,36 @@
+// Proper layerings (paper §II): a layering is proper when every edge span
+// equals one, achieved by inserting dummy vertices along long edges. The
+// materialised proper graph is what the later Sugiyama phases (crossing
+// minimisation, coordinate assignment) operate on.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::layering {
+
+/// The result of making a layering proper.
+struct ProperGraph {
+  /// Original vertices keep ids 0..n-1; dummies are appended after.
+  graph::Digraph graph;
+  /// Layer of every vertex, dummies included. Every edge span is exactly 1.
+  Layering layering;
+  /// is_dummy[v] for all vertices of `graph`.
+  std::vector<bool> is_dummy;
+  /// For each dummy vertex (id - n), the original edge it subdivides.
+  std::vector<graph::Edge> dummy_origin;
+
+  std::size_t num_real_vertices() const {
+    return graph.num_vertices() - dummy_origin.size();
+  }
+};
+
+/// Subdivides every edge of span s > 1 with s-1 dummy vertices of width
+/// `dummy_width` placed on the intermediate layers. Requires a valid
+/// layering.
+ProperGraph make_proper(const graph::Digraph& g, const Layering& l,
+                        double dummy_width = 1.0);
+
+}  // namespace acolay::layering

@@ -1,0 +1,45 @@
+#include "layering/spans.hpp"
+
+#include <algorithm>
+
+namespace acolay::layering {
+
+LayerSpan compute_span(const graph::Digraph& g, const Layering& l,
+                       graph::VertexId v, int num_layers) {
+  ACOLAY_CHECK(num_layers >= 1);
+  LayerSpan span{1, num_layers};
+  for (const graph::VertexId w : g.successors(v)) {
+    span.lo = std::max(span.lo, l.layer(w) + 1);
+  }
+  for (const graph::VertexId p : g.predecessors(v)) {
+    span.hi = std::min(span.hi, l.layer(p) - 1);
+  }
+  ACOLAY_CHECK_MSG(span.lo <= span.hi,
+                   "empty layer span for vertex "
+                       << v << " [" << span.lo << ", " << span.hi
+                       << "] — layering invalid?");
+  return span;
+}
+
+SpanTable::SpanTable(const graph::Digraph& g, const Layering& l,
+                     int num_layers)
+    : spans_(g.num_vertices()), num_layers_(num_layers) {
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    spans_[static_cast<std::size_t>(v)] = compute_span(g, l, v, num_layers);
+  }
+}
+
+void SpanTable::refresh(const graph::Digraph& g, const Layering& l,
+                        graph::VertexId v) {
+  spans_[static_cast<std::size_t>(v)] = compute_span(g, l, v, num_layers_);
+}
+
+void SpanTable::refresh_around(const graph::Digraph& g, const Layering& l,
+                               graph::VertexId moved) {
+  refresh(g, l, moved);
+  for (const graph::VertexId w : g.successors(moved)) refresh(g, l, w);
+  for (const graph::VertexId p : g.predecessors(moved)) refresh(g, l, p);
+}
+
+}  // namespace acolay::layering

@@ -1,0 +1,60 @@
+// Layer spans (paper §II): the set of layers a vertex can occupy given the
+// current assignment of its neighbours. For vertex v in a layering with
+// `num_layers` available layers:
+//
+//   lo(v) = 1 + max{ layer(w) : w successor of v }      (1 if no successor)
+//   hi(v) = -1 + min{ layer(p) : p predecessor of v }   (num_layers if none)
+//
+// The span is the inclusive range [lo, hi]; a valid layering always has
+// layer(v) within v's span. Spans change whenever a neighbour moves — the
+// SpanTable supports that incremental recomputation (paper Alg. 4 line 10).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::layering {
+
+struct LayerSpan {
+  int lo = 1;
+  int hi = 1;
+
+  bool contains(int layer) const { return layer >= lo && layer <= hi; }
+  int size() const { return hi - lo + 1; }
+
+  friend bool operator==(const LayerSpan&, const LayerSpan&) = default;
+};
+
+/// Computes the span of a single vertex from its neighbours' layers.
+LayerSpan compute_span(const graph::Digraph& g, const Layering& l,
+                       graph::VertexId v, int num_layers);
+
+/// Cached spans for all vertices with per-vertex refresh.
+class SpanTable {
+ public:
+  SpanTable(const graph::Digraph& g, const Layering& l, int num_layers);
+
+  const LayerSpan& span(graph::VertexId v) const {
+    return spans_[static_cast<std::size_t>(v)];
+  }
+
+  int num_layers() const { return num_layers_; }
+
+  /// Recomputes the span of `v` (call for every neighbour of a moved
+  /// vertex, per paper Alg. 4 lines 9–11).
+  void refresh(const graph::Digraph& g, const Layering& l,
+               graph::VertexId v);
+
+  /// Refreshes the spans of every neighbour of `moved` and of `moved`
+  /// itself.
+  void refresh_around(const graph::Digraph& g, const Layering& l,
+                      graph::VertexId moved);
+
+ private:
+  std::vector<LayerSpan> spans_;
+  int num_layers_;
+};
+
+}  // namespace acolay::layering

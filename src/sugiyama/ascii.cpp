@@ -1,0 +1,55 @@
+#include "sugiyama/ascii.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "layering/metrics.hpp"
+#include "support/check.hpp"
+
+namespace acolay::sugiyama {
+
+std::string render_ascii(const graph::Digraph& g,
+                         const layering::Layering& l,
+                         const AsciiOptions& opts) {
+  ACOLAY_CHECK_MSG(layering::is_valid_layering(g, l),
+                   "render_ascii requires a valid layering: "
+                       << layering::validate_layering(g, l));
+  ACOLAY_CHECK(opts.max_label >= 1);
+
+  const auto members = l.members();
+  const auto dummies = layering::dummies_per_layer(g, l);
+  const auto widths =
+      layering::layer_width_profile(g, l, opts.dummy_width, true);
+
+  const auto label_of = [&](graph::VertexId v) {
+    std::string label =
+        g.label(v).empty() ? std::to_string(v) : g.label(v);
+    if (static_cast<int>(label.size()) > opts.max_label) {
+      label = label.substr(0, static_cast<std::size_t>(opts.max_label - 1));
+      label += '~';
+    }
+    return label;
+  };
+
+  std::ostringstream os;
+  // Top layer first.
+  for (std::size_t index = members.size(); index-- > 0;) {
+    const int layer = static_cast<int>(index) + 1;
+    os << "L" << std::setw(3) << std::left << layer << std::right << "|";
+    for (const auto v : members[index]) {
+      os << " [" << label_of(v) << "]";
+    }
+    if (index < dummies.size() && dummies[index] > 0) {
+      os << " +" << dummies[index] << "d";
+    }
+    if (opts.show_widths && index < widths.size()) {
+      os << "  (w=" << std::fixed << std::setprecision(1) << widths[index]
+         << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace acolay::sugiyama

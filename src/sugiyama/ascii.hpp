@@ -1,0 +1,28 @@
+// ASCII rendering of a layering — a terminal-friendly sketch of the layer
+// structure: one text row per layer (top layer first), vertices as labelled
+// boxes, dummy counts summarised per layer. Useful for quick inspection in
+// tests, examples, and CI logs where an SVG cannot be viewed.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "layering/layering.hpp"
+
+namespace acolay::sugiyama {
+
+struct AsciiOptions {
+  /// Maximum characters of a vertex label (longer labels are truncated
+  /// with '~').
+  int max_label = 8;
+  /// Show per-layer width (incl. dummies at `dummy_width`) on the right.
+  bool show_widths = true;
+  double dummy_width = 1.0;
+};
+
+/// Renders the layering as text. The layering must be valid for g.
+std::string render_ascii(const graph::Digraph& g,
+                         const layering::Layering& l,
+                         const AsciiOptions& opts = {});
+
+}  // namespace acolay::sugiyama

@@ -1,0 +1,100 @@
+#include "sugiyama/coordinates.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace acolay::sugiyama {
+
+Coordinates assign_coordinates(const layering::ProperGraph& proper,
+                               const LayerOrders& orders,
+                               const CoordinateOptions& opts) {
+  const auto& g = proper.graph;
+  const auto n = g.num_vertices();
+  Coordinates coords;
+  coords.x.assign(n, 0.0);
+  coords.y.assign(n, 0.0);
+  if (n == 0) return coords;
+
+  const int num_layers = static_cast<int>(orders.size());
+  const auto draw_width = [&](graph::VertexId v) {
+    return std::max(opts.unit_width * g.width(v), opts.vertex_sep * 0.5);
+  };
+
+  // y: top layer (highest index) at y = layer_sep/2, growing downwards.
+  for (int layer = 0; layer < num_layers; ++layer) {
+    const double y =
+        (static_cast<double>(num_layers - 1 - layer) + 0.5) * opts.layer_sep;
+    for (const auto v : orders[static_cast<std::size_t>(layer)]) {
+      coords.y[static_cast<std::size_t>(v)] = y;
+    }
+  }
+
+  // Initial x: pack each layer left to right.
+  for (const auto& layer : orders) {
+    double cursor = 0.0;
+    for (const auto v : layer) {
+      const double w = draw_width(v);
+      coords.x[static_cast<std::size_t>(v)] = cursor + w / 2.0;
+      cursor += w + opts.vertex_sep;
+    }
+  }
+
+  // Refinement: alternate up/down barycenter targets, then restore the
+  // minimum-separation invariant with a left-to-right then right-to-left
+  // relaxation that preserves order.
+  const auto resolve_overlaps = [&](const std::vector<graph::VertexId>& layer) {
+    for (std::size_t i = 1; i < layer.size(); ++i) {
+      const auto prev = layer[i - 1];
+      const auto cur = layer[i];
+      const double min_x = coords.x[static_cast<std::size_t>(prev)] +
+                           draw_width(prev) / 2.0 + opts.vertex_sep +
+                           draw_width(cur) / 2.0;
+      coords.x[static_cast<std::size_t>(cur)] =
+          std::max(coords.x[static_cast<std::size_t>(cur)], min_x);
+    }
+    for (std::size_t i = layer.size(); i-- > 1;) {
+      const auto prev = layer[i - 1];
+      const auto cur = layer[i];
+      const double max_prev = coords.x[static_cast<std::size_t>(cur)] -
+                              draw_width(cur) / 2.0 - opts.vertex_sep -
+                              draw_width(prev) / 2.0;
+      coords.x[static_cast<std::size_t>(prev)] =
+          std::min(coords.x[static_cast<std::size_t>(prev)], max_prev);
+    }
+  };
+
+  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+    const bool downwards = (pass % 2 == 0);
+    for (int li = 0; li < num_layers; ++li) {
+      const int layer = downwards ? num_layers - 1 - li : li;
+      const auto& members = orders[static_cast<std::size_t>(layer)];
+      for (const auto v : members) {
+        const auto neighbours =
+            downwards ? g.predecessors(v) : g.successors(v);
+        if (neighbours.empty()) continue;
+        double sum = 0.0;
+        for (const auto w : neighbours) {
+          sum += coords.x[static_cast<std::size_t>(w)];
+        }
+        coords.x[static_cast<std::size_t>(v)] =
+            sum / static_cast<double>(neighbours.size());
+      }
+      resolve_overlaps(members);
+    }
+  }
+
+  // Shift everything so the leftmost border sits at x = vertex_sep.
+  double min_left = 0.0;
+  bool first = true;
+  for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const double left =
+        coords.x[static_cast<std::size_t>(v)] - draw_width(v) / 2.0;
+    min_left = first ? left : std::min(min_left, left);
+    first = false;
+  }
+  for (auto& x : coords.x) x += opts.vertex_sep - min_left;
+  return coords;
+}
+
+}  // namespace acolay::sugiyama

@@ -1,0 +1,34 @@
+// Coordinate assignment — step 4 of the Sugiyama framework: x positions
+// within layers (respecting the crossing-minimised order and minimum
+// separations) and y positions from layer indices. Barycenter-based
+// iterative refinement with overlap resolution; dummy vertices get the
+// same treatment so long edges bend smoothly.
+#pragma once
+
+#include <vector>
+
+#include "layering/proper.hpp"
+#include "sugiyama/ordering.hpp"
+
+namespace acolay::sugiyama {
+
+struct CoordinateOptions {
+  double vertex_sep = 24.0;  ///< min horizontal gap between vertex borders
+  double layer_sep = 60.0;   ///< vertical distance between layers
+  double unit_width = 40.0;  ///< drawing width of a width-1.0 vertex
+  int refinement_passes = 6;
+};
+
+struct Coordinates {
+  /// Centre x/y per vertex of the proper graph. y grows downwards (SVG
+  /// convention): the top layer has the smallest y.
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Assigns coordinates to every (real and dummy) vertex.
+Coordinates assign_coordinates(const layering::ProperGraph& proper,
+                               const LayerOrders& orders,
+                               const CoordinateOptions& opts = {});
+
+}  // namespace acolay::sugiyama

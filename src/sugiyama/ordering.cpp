@@ -1,0 +1,152 @@
+#include "sugiyama/ordering.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace acolay::sugiyama {
+
+std::int64_t count_crossings_between(
+    const graph::Digraph& g, const std::vector<graph::VertexId>& upper,
+    const std::vector<graph::VertexId>& lower) {
+  // Position of each lower vertex.
+  std::vector<int> lower_pos(g.num_vertices(), -1);
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    lower_pos[static_cast<std::size_t>(lower[i])] = static_cast<int>(i);
+  }
+  // Edge endpoints in upper order; for equal upper positions sort by lower
+  // position (edges sharing an endpoint never cross).
+  std::vector<int> sequence;
+  for (const auto u : upper) {
+    std::vector<int> targets;
+    for (const auto w : g.successors(u)) {
+      const int pos = lower_pos[static_cast<std::size_t>(w)];
+      if (pos >= 0) targets.push_back(pos);
+    }
+    std::sort(targets.begin(), targets.end());
+    sequence.insert(sequence.end(), targets.begin(), targets.end());
+  }
+  // Count inversions with a Fenwick tree over lower positions.
+  const int m = static_cast<int>(lower.size());
+  if (m == 0 || sequence.empty()) return 0;
+  std::vector<std::int64_t> tree(static_cast<std::size_t>(m) + 1, 0);
+  const auto add = [&](int index) {
+    for (int i = index + 1; i <= m; i += i & (-i)) {
+      ++tree[static_cast<std::size_t>(i)];
+    }
+  };
+  const auto prefix = [&](int index) {  // count of values <= index
+    std::int64_t total = 0;
+    for (int i = index + 1; i > 0; i -= i & (-i)) {
+      total += tree[static_cast<std::size_t>(i)];
+    }
+    return total;
+  };
+  std::int64_t crossings = 0;
+  std::int64_t seen = 0;
+  for (const int pos : sequence) {
+    crossings += seen - prefix(pos);  // earlier edges with larger position
+    add(pos);
+    ++seen;
+  }
+  return crossings;
+}
+
+std::int64_t count_crossings(const graph::Digraph& g,
+                             const layering::Layering& l,
+                             const LayerOrders& orders) {
+  (void)l;
+  std::int64_t total = 0;
+  for (std::size_t layer = 0; layer + 1 < orders.size(); ++layer) {
+    total += count_crossings_between(g, orders[layer + 1], orders[layer]);
+  }
+  return total;
+}
+
+namespace {
+
+/// Reorders `layer` by the barycenter (or median) of each vertex's
+/// neighbour positions in `fixed`; vertices without neighbours keep their
+/// relative order (stable sort on unchanged keys).
+void sweep_layer(const graph::Digraph& g, std::vector<graph::VertexId>& layer,
+                 const std::vector<graph::VertexId>& fixed, bool downwards,
+                 bool use_median) {
+  std::vector<double> fixed_pos(g.num_vertices(), -1.0);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    fixed_pos[static_cast<std::size_t>(fixed[i])] = static_cast<double>(i);
+  }
+  std::vector<std::pair<double, graph::VertexId>> keyed;
+  keyed.reserve(layer.size());
+  for (std::size_t i = 0; i < layer.size(); ++i) {
+    const auto v = layer[i];
+    std::vector<double> positions;
+    const auto neighbours = downwards ? g.predecessors(v) : g.successors(v);
+    for (const auto w : neighbours) {
+      const double pos = fixed_pos[static_cast<std::size_t>(w)];
+      if (pos >= 0.0) positions.push_back(pos);
+    }
+    double key;
+    if (positions.empty()) {
+      key = static_cast<double>(i);  // keep place
+    } else if (use_median) {
+      std::sort(positions.begin(), positions.end());
+      key = positions[positions.size() / 2];
+    } else {
+      double sum = 0.0;
+      for (const double p : positions) sum += p;
+      key = sum / static_cast<double>(positions.size());
+    }
+    keyed.emplace_back(key, v);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (std::size_t i = 0; i < layer.size(); ++i) layer[i] = keyed[i].second;
+}
+
+}  // namespace
+
+OrderingResult order_vertices(const layering::ProperGraph& proper,
+                              const OrderingOptions& opts) {
+  const auto& g = proper.graph;
+  const auto& l = proper.layering;
+  OrderingResult result;
+  result.orders = l.members();
+  if (result.orders.size() <= 1 || g.num_edges() == 0) {
+    result.crossings = 0;
+    return result;
+  }
+
+  LayerOrders best = result.orders;
+  std::int64_t best_crossings = count_crossings(g, l, best);
+  auto current = best;
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    // Downward pass: fix layer above, reorder layer below (top to bottom).
+    for (std::size_t layer = current.size() - 1; layer-- > 0;) {
+      sweep_layer(g, current[layer], current[layer + 1],
+                  /*downwards=*/true, opts.use_median);
+    }
+    // Upward pass.
+    for (std::size_t layer = 1; layer < current.size(); ++layer) {
+      sweep_layer(g, current[layer], current[layer - 1],
+                  /*downwards=*/false, opts.use_median);
+    }
+    const std::int64_t crossings = count_crossings(g, l, current);
+    result.sweeps_run = sweep + 1;
+    if (crossings < best_crossings) {
+      best_crossings = crossings;
+      best = current;
+      if (best_crossings == 0) break;
+    } else {
+      break;  // no improvement: converged
+    }
+  }
+
+  result.orders = std::move(best);
+  result.crossings = best_crossings;
+  return result;
+}
+
+}  // namespace acolay::sugiyama

@@ -1,0 +1,49 @@
+// Vertex ordering (crossing minimisation) — step 3 of the Sugiyama
+// framework, run on the proper graph produced by the layering step. The
+// paper motivates compact layerings precisely because this step and the
+// final drawing consume them.
+//
+// Implementation: iterated barycenter/median sweeps with a
+// count-all-crossings keep-best loop; pairwise crossing counting uses the
+// standard inversion-count (O(E log E)) accumulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layering/proper.hpp"
+
+namespace acolay::sugiyama {
+
+/// Per-layer vertex orders, index 0 = layer 1 (bottom). Values are vertex
+/// ids of the proper graph.
+using LayerOrders = std::vector<std::vector<graph::VertexId>>;
+
+struct OrderingOptions {
+  int max_sweeps = 8;       ///< down+up sweep pairs
+  bool use_median = false;  ///< median heuristic instead of barycenter
+};
+
+struct OrderingResult {
+  LayerOrders orders;
+  std::int64_t crossings = 0;
+  int sweeps_run = 0;
+};
+
+/// Crossings between two adjacent layers given their orders (edges of `g`
+/// from `upper` to `lower` vertices).
+std::int64_t count_crossings_between(const graph::Digraph& g,
+                                     const std::vector<graph::VertexId>& upper,
+                                     const std::vector<graph::VertexId>& lower);
+
+/// Total crossings over all adjacent layer pairs.
+std::int64_t count_crossings(const graph::Digraph& g,
+                             const layering::Layering& l,
+                             const LayerOrders& orders);
+
+/// Initial orders (by vertex id) refined by alternating down/up
+/// barycenter (or median) sweeps; returns the best ordering seen.
+OrderingResult order_vertices(const layering::ProperGraph& proper,
+                              const OrderingOptions& opts = {});
+
+}  // namespace acolay::sugiyama

@@ -1,0 +1,122 @@
+#include "sugiyama/svg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace acolay::sugiyama {
+
+namespace {
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (const char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const layering::ProperGraph& proper,
+                       const Coordinates& coords,
+                       const std::vector<graph::Edge>& reversed_edges,
+                       const SvgOptions& opts) {
+  const auto& g = proper.graph;
+  const auto n = g.num_vertices();
+  ACOLAY_CHECK(coords.x.size() == n && coords.y.size() == n);
+
+  double width = 100.0, height = 100.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    width = std::max(width, coords.x[v] + opts.unit_width);
+    height = std::max(height, coords.y[v] + opts.vertex_height);
+  }
+
+  // Edges of the proper graph chain real -> dummy* -> real; walk each chain
+  // once, starting from edges that leave a real vertex.
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << static_cast<int>(width + 20) << "\" height=\""
+     << static_cast<int>(height + 20) << "\">\n";
+  if (!opts.title.empty()) {
+    os << "  <title>" << escape_xml(opts.title) << "</title>\n";
+  }
+  os << "  <g fill=\"none\" stroke=\"#555\" stroke-width=\"1.5\">\n";
+
+  const auto is_dummy = [&](graph::VertexId v) {
+    return proper.is_dummy[static_cast<std::size_t>(v)];
+  };
+  std::map<std::pair<graph::VertexId, graph::VertexId>, bool> reversed_set;
+  for (const auto& [u, v] : reversed_edges) {
+    reversed_set[{v, u}] = true;  // drawn edge runs v -> u after reversal
+  }
+
+  for (graph::VertexId u = 0; static_cast<std::size_t>(u) < n; ++u) {
+    if (is_dummy(u)) continue;
+    for (const auto first : g.successors(u)) {
+      // Walk through the dummy chain.
+      std::vector<graph::VertexId> chain{u};
+      graph::VertexId current = first;
+      while (is_dummy(current)) {
+        chain.push_back(current);
+        ACOLAY_CHECK(g.out_degree(current) == 1);
+        current = g.successors(current)[0];
+      }
+      chain.push_back(current);
+      const bool dashed =
+          reversed_set.count({u, current}) > 0 ||
+          reversed_set.count({chain.front(), chain.back()}) > 0;
+      os << "    <polyline points=\"";
+      for (const auto v : chain) {
+        os << coords.x[static_cast<std::size_t>(v)] << ','
+           << coords.y[static_cast<std::size_t>(v)] << ' ';
+      }
+      os << "\"";
+      if (dashed) os << " stroke-dasharray=\"6 3\"";
+      os << "/>\n";
+      // Arrowhead: small triangle at the target.
+      const double tx = coords.x[static_cast<std::size_t>(current)];
+      const double ty = coords.y[static_cast<std::size_t>(current)];
+      os << "    <polygon fill=\"#555\" points=\"" << tx - 4 << ','
+         << ty - 10 << ' ' << tx + 4 << ',' << ty - 10 << ' ' << tx << ','
+         << ty - 2 << "\"/>\n";
+    }
+  }
+  os << "  </g>\n";
+
+  // Vertices on top of edges.
+  os << "  <g font-family=\"sans-serif\" font-size=\"12\" "
+        "text-anchor=\"middle\">\n";
+  for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const double x = coords.x[static_cast<std::size_t>(v)];
+    const double y = coords.y[static_cast<std::size_t>(v)];
+    if (is_dummy(v)) {
+      if (opts.show_dummy_markers) {
+        os << "    <circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"2\" fill=\"#bbb\"/>\n";
+      }
+      continue;
+    }
+    const double w = std::max(opts.unit_width * g.width(v), 16.0);
+    os << "    <rect x=\"" << x - w / 2 << "\" y=\""
+       << y - opts.vertex_height / 2 << "\" width=\"" << w << "\" height=\""
+       << opts.vertex_height
+       << "\" rx=\"4\" fill=\"#e8f0fe\" stroke=\"#4472c4\"/>\n";
+    const std::string label =
+        g.label(v).empty() ? std::to_string(v) : g.label(v);
+    os << "    <text x=\"" << x << "\" y=\"" << y + 4 << "\">"
+       << escape_xml(label) << "</text>\n";
+  }
+  os << "  </g>\n</svg>\n";
+  return os.str();
+}
+
+}  // namespace acolay::sugiyama

@@ -1,0 +1,28 @@
+// SVG rendering of a laid-out graph: real vertices as labelled boxes, long
+// edges as polylines bending through their dummy-vertex positions, reversed
+// (feedback) edges dashed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layering/proper.hpp"
+#include "sugiyama/coordinates.hpp"
+
+namespace acolay::sugiyama {
+
+struct SvgOptions {
+  double vertex_height = 28.0;
+  double unit_width = 40.0;  ///< must match CoordinateOptions::unit_width
+  bool show_dummy_markers = false;  ///< draw dots on dummy positions
+  std::string title;
+};
+
+/// Renders the proper graph with the given coordinates. `reversed_edges`
+/// (edges of the *original* graph, pre-reversal) are drawn dashed.
+std::string render_svg(const layering::ProperGraph& proper,
+                       const Coordinates& coords,
+                       const std::vector<graph::Edge>& reversed_edges = {},
+                       const SvgOptions& opts = {});
+
+}  // namespace acolay::sugiyama

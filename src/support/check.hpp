@@ -1,0 +1,54 @@
+// Assertion and contract-checking macros used throughout acolay.
+//
+// ACOLAY_CHECK is active in every build type: the algorithms in this library
+// are cheap relative to the invariants they protect, and a violated invariant
+// (e.g. an edge span < 1 inside the ACO inner loop) must never silently
+// corrupt an experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acolay::support {
+
+/// Exception thrown by ACOLAY_CHECK on contract violation. Tests catch this
+/// to verify that invalid inputs are rejected.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "ACOLAY_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace acolay::support
+
+/// Always-on invariant check. Throws support::CheckError on failure.
+#define ACOLAY_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::acolay::support::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                              std::string{});               \
+    }                                                                       \
+  } while (false)
+
+/// Always-on invariant check with a context message (streamed into a string).
+#define ACOLAY_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream acolay_check_os_;                                  \
+      acolay_check_os_ << msg;                                              \
+      ::acolay::support::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                              acolay_check_os_.str());      \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,74 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace acolay::support {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::set_header(std::vector<std::string> header) {
+  ACOLAY_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void CsvWriter::add_row(std::vector<CsvCell> row) {
+  ACOLAY_CHECK_MSG(row.size() == header_.size(),
+                   "row arity " << row.size() << " != header arity "
+                                << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+void write_cell(std::ostream& os, const CsvCell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << csv_escape(*s);
+  } else if (const auto* d = std::get_if<double>(&cell)) {
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << *d;
+    os << tmp.str();
+  } else {
+    os << std::get<std::int64_t>(cell);
+  }
+}
+}  // namespace
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      write_cell(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvWriter::write_file(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  ACOLAY_CHECK_MSG(out.good(), "cannot open " << path.string());
+  write(out);
+}
+
+}  // namespace acolay::support

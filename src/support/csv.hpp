@@ -1,0 +1,42 @@
+// Minimal CSV writing for bench_results/*.csv outputs.
+//
+// Fields are quoted only when needed (comma, quote, newline); doubles are
+// written with enough digits to round-trip.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace acolay::support {
+
+/// One CSV cell: string, double, or integer.
+using CsvCell = std::variant<std::string, double, std::int64_t>;
+
+class CsvWriter {
+ public:
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its arity must match the header.
+  void add_row(std::vector<CsvCell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Serialises header + rows.
+  void write(std::ostream& os) const;
+
+  /// Writes to a file, creating parent directories as needed.
+  void write_file(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<CsvCell>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+}  // namespace acolay::support

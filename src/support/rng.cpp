@@ -1,0 +1,107 @@
+#include "support/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace acolay::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ull;
+  }
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ACOLAY_CHECK(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % range;
+  std::uint64_t value = (*this)();
+  while (value >= limit) value = (*this)();
+  return lo + static_cast<std::int64_t>(value % range);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  ACOLAY_CHECK(n > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ACOLAY_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::vector<std::int32_t> Rng::permutation(std::size_t n) {
+  std::vector<std::int32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::int32_t>(i);
+  shuffle(perm);
+  return perm;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    ACOLAY_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  ACOLAY_CHECK_MSG(total > 0.0, "weighted_index requires a positive weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point accumulation may leave target at ~0; return last positive.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t a, std::uint64_t b, std::uint64_t c) const {
+  std::uint64_t sm = seed_;
+  std::uint64_t mix = splitmix64(sm);
+  sm ^= a * 0x9E3779B97F4A7C15ull;
+  mix ^= splitmix64(sm);
+  sm ^= b * 0xC2B2AE3D27D4EB4Full;
+  mix ^= splitmix64(sm);
+  sm ^= c * 0x165667B19E3779F9ull;
+  mix ^= splitmix64(sm);
+  return Rng{mix};
+}
+
+}  // namespace acolay::support

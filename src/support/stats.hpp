@@ -1,0 +1,53 @@
+// Streaming and batch descriptive statistics used by the experiment harness
+// to aggregate per-group results (mean/stddev per vertex-count bucket, as in
+// the paper's Figures 4–9) and by tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acolay::support {
+
+/// Welford online accumulator: numerically stable running mean/variance.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Linear-interpolated quantile, q in [0,1]. Requires non-empty data.
+double quantile(std::span<const double> data, double q);
+
+/// Computes the full Summary of `data`. Requires non-empty data.
+Summary summarize(std::span<const double> data);
+
+}  // namespace acolay::support

@@ -1,0 +1,27 @@
+// Small string helpers shared by the I/O parsers and the harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acolay::support {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+
+}  // namespace acolay::support

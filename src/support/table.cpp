@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace acolay::support {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ACOLAY_CHECK(!header_.empty());
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  ACOLAY_CHECK_MSG(row.size() == header_.size(),
+                   "row arity " << row.size() << " != header arity "
+                                << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      // std::left/std::right persist; reset handled by next setw use.
+      os << (c == 0 ? "" : "");
+      os.unsetf(std::ios::adjustfield);
+      os << std::right;
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(rule_len, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string ConsoleTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace acolay::support

@@ -1,0 +1,33 @@
+// Fixed-width console tables.
+//
+// The figure benches print the same series the paper plots; a readable,
+// aligned text table is the terminal equivalent of the paper's gnuplot
+// figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acolay::support {
+
+/// Column-aligned text table with a header row and a separator rule.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells; arity must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with fixed `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acolay::support

@@ -1,0 +1,103 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace acolay::support {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ACOLAY_CHECK(task != nullptr);
+  {
+    std::unique_lock lock(mutex_);
+    ACOLAY_CHECK_MSG(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || pool.num_threads() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t num_tasks = std::min(pool.num_threads(), count);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    pool.submit([next, count, &body] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+void parallel_for(std::size_t num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool pool(num_threads);
+  parallel_for(pool, count, body);
+}
+
+}  // namespace acolay::support

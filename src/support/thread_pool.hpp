@@ -1,0 +1,71 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The ACO colony runs the ants of a tour concurrently (paper §IV-A: a tour
+// "emulates a parallel work environment for all the ants"); the experiment
+// harness parallelises across corpus graphs instead. Both use this pool.
+//
+// Design notes (C++ Core Guidelines CP.*):
+//  * tasks are type-erased std::function<void()> values; exceptions thrown by
+//    a task are captured and rethrown from wait()/parallel_for so failures
+//    are never silently swallowed;
+//  * the pool is non-copyable, joins its workers in the destructor (RAII);
+//  * parallel_for uses dynamic chunking over an atomic counter, which keeps
+//    the schedule deterministic-independent: callers must not rely on
+//    execution order, and all acolay callers reduce results by index.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acolay::support {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks may not themselves call submit/wait on the same
+  /// pool (no nested parallelism).
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished. Rethrows the first
+  /// captured task exception, if any.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs body(i) for every i in [0, count) across the pool's workers and
+/// blocks until completion. Rethrows the first task exception.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload using a transient pool of `num_threads` workers.
+void parallel_for(std::size_t num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace acolay::support

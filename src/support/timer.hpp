@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the running-time criterion (paper Figures 8/9).
+#pragma once
+
+#include <chrono>
+
+namespace acolay::support {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace acolay::support

@@ -1,0 +1,107 @@
+// Tests for the Coffman–Graham width-bounded layering (paper reference [2]).
+#include "baselines/coffman_graham.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/longest_path.hpp"
+#include "graph/algorithms.hpp"
+#include "layering/metrics.hpp"
+#include "test_util.hpp"
+
+namespace acolay::baselines {
+namespace {
+
+/// Real-vertex count of the fullest layer, evaluated on the reduced graph
+/// when the algorithm ran on it.
+int max_layer_occupancy(const graph::Digraph& g, const layering::Layering& l) {
+  const auto members = l.members();
+  std::size_t occupancy = 0;
+  for (const auto& layer : members) {
+    occupancy = std::max(occupancy, layer.size());
+  }
+  return static_cast<int>(occupancy);
+}
+
+TEST(CoffmanGraham, ProducesValidLayerings) {
+  for (const auto& g : test::random_battery()) {
+    const auto l = coffman_graham_layering(g);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << layering::validate_layering(g, l);
+  }
+}
+
+TEST(CoffmanGraham, RespectsWidthBound) {
+  for (const auto& g : test::random_battery(12)) {
+    for (const int bound : {1, 2, 3}) {
+      CoffmanGrahamParams params;
+      params.width_bound = bound;
+      const auto l = coffman_graham_layering(g, params);
+      EXPECT_LE(max_layer_occupancy(g, l), bound)
+          << "bound " << bound << " on n=" << g.num_vertices();
+      EXPECT_TRUE(layering::is_valid_layering(g, l));
+    }
+  }
+}
+
+TEST(CoffmanGraham, WidthOneIsATotalOrder) {
+  const auto g = test::diamond();
+  CoffmanGrahamParams params;
+  params.width_bound = 1;
+  const auto l = coffman_graham_layering(g, params);
+  EXPECT_EQ(layering::layering_height(l), 4);
+  EXPECT_EQ(max_layer_occupancy(g, l), 1);
+}
+
+TEST(CoffmanGraham, GuaranteeFactorOnBattery) {
+  // Height <= (2 - 2/W) * optimal. The optimal height for width W is at
+  // least ceil(n/W) and at least the LPL height; check the guarantee
+  // against that lower bound.
+  for (const auto& g : test::random_battery(10)) {
+    const int w = 3;
+    CoffmanGrahamParams params;
+    params.width_bound = w;
+    const auto l = coffman_graham_layering(g, params);
+    const int height = layering::layering_height(l);
+    const int lower_bound = std::max<int>(
+        minimum_height(g),
+        static_cast<int>((g.num_vertices() + w - 1) / w));
+    const double factor = 2.0 - 2.0 / w;
+    EXPECT_LE(height, static_cast<int>(factor * lower_bound) + 1)
+        << "n=" << g.num_vertices();
+  }
+}
+
+TEST(CoffmanGraham, WithoutReductionStillValid) {
+  for (const auto& g : test::random_battery(8)) {
+    CoffmanGrahamParams params;
+    params.use_transitive_reduction = false;
+    params.width_bound = 2;
+    const auto l = coffman_graham_layering(g, params);
+    EXPECT_TRUE(layering::is_valid_layering(g, l));
+  }
+}
+
+TEST(CoffmanGraham, PathKeepsOrder) {
+  const auto g = gen::path_dag(5);
+  const auto l = coffman_graham_layering(g);
+  EXPECT_EQ(layering::layering_height(l), 5);
+  for (graph::VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(l.layer(v), 5 - v);
+  }
+}
+
+TEST(CoffmanGraham, EmptyGraph) {
+  graph::Digraph g;
+  EXPECT_EQ(coffman_graham_layering(g).num_vertices(), 0u);
+}
+
+TEST(CoffmanGraham, DefaultBoundIsSqrtN) {
+  const auto g = gen::complete_bipartite_dag(5, 4);  // n = 9 -> bound 3
+  const auto l = coffman_graham_layering(g);
+  EXPECT_LE(max_layer_occupancy(g, l), 3);
+}
+
+}  // namespace
+}  // namespace acolay::baselines

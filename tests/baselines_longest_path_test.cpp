@@ -1,0 +1,94 @@
+// Tests for the Longest-Path Layering (paper Algorithm 1).
+#include "baselines/longest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layering/metrics.hpp"
+#include "test_util.hpp"
+
+namespace acolay::baselines {
+namespace {
+
+TEST(LongestPath, SmallDagHandWorked) {
+  const auto g = test::small_dag();
+  const auto l = longest_path_layering(g);
+  EXPECT_EQ(l.layer(0), 1);
+  EXPECT_EQ(l.layer(1), 1);
+  EXPECT_EQ(l.layer(2), 2);
+  EXPECT_EQ(l.layer(3), 3);
+  EXPECT_EQ(l.layer(4), 3);
+  EXPECT_EQ(l.layer(5), 4);
+  EXPECT_EQ(l.layer(6), 4);
+}
+
+TEST(LongestPath, SinksOnLayerOne) {
+  for (const auto& g : test::random_battery(10)) {
+    const auto l = longest_path_layering(g);
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      if (g.out_degree(v) == 0) EXPECT_EQ(l.layer(v), 1);
+    }
+  }
+}
+
+TEST(LongestPath, ProducesValidLayerings) {
+  for (const auto& g : test::random_battery()) {
+    const auto l = longest_path_layering(g);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << layering::validate_layering(g, l);
+  }
+}
+
+TEST(LongestPath, AchievesMinimumHeight) {
+  // LPL's defining property (paper §III): "it uses the minimum number of
+  // layers possible" — the height equals longest path + 1 and no valid
+  // layering can be shorter.
+  for (const auto& g : test::random_battery(12)) {
+    const auto l = longest_path_layering(g);
+    EXPECT_EQ(layering::layering_height(l), minimum_height(g));
+  }
+}
+
+TEST(LongestPath, LiteralAlgorithmAgrees) {
+  // The paper-faithful set-based Algorithm 1 and the DP implementation must
+  // produce the same layering.
+  for (const auto& g : test::random_battery(12)) {
+    EXPECT_EQ(longest_path_layering(g).raw(),
+              longest_path_layering_literal(g).raw());
+  }
+}
+
+TEST(LongestPath, EveryNonSinkSitsJustAboveFurthestSuccessorPath) {
+  for (const auto& g : test::random_battery(8)) {
+    const auto l = longest_path_layering(g);
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      if (g.out_degree(v) == 0) continue;
+      int best = 0;
+      for (const auto w : g.successors(v)) best = std::max(best, l.layer(w));
+      EXPECT_EQ(l.layer(v), best + 1);
+    }
+  }
+}
+
+TEST(LongestPath, PathGraphUsesOneLayerPerVertex) {
+  const auto g = gen::path_dag(6);
+  const auto l = longest_path_layering(g);
+  EXPECT_EQ(layering::layering_height(l), 6);
+}
+
+TEST(LongestPath, EdgelessGraphIsSingleLayer) {
+  graph::Digraph g(5);
+  const auto l = longest_path_layering(g);
+  EXPECT_EQ(layering::layering_height(l), 1);
+}
+
+TEST(LongestPath, EmptyGraph) {
+  graph::Digraph g;
+  const auto l = longest_path_layering(g);
+  EXPECT_EQ(l.num_vertices(), 0u);
+  EXPECT_EQ(minimum_height(g), 0);
+}
+
+}  // namespace
+}  // namespace acolay::baselines

@@ -1,0 +1,118 @@
+// Tests for the MinWidth heuristic (paper Algorithm 2 / [9]).
+#include "baselines/min_width.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "layering/metrics.hpp"
+#include "test_util.hpp"
+
+namespace acolay::baselines {
+namespace {
+
+TEST(MinWidth, ProducesValidLayerings) {
+  for (const auto& g : test::random_battery()) {
+    const auto l = min_width_layering(g);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << layering::validate_layering(g, l);
+  }
+}
+
+TEST(MinWidth, BestOfSweepProducesValidLayerings) {
+  for (const auto& g : test::random_battery(12)) {
+    const auto l = min_width_layering_best(g);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << layering::validate_layering(g, l);
+  }
+}
+
+TEST(MinWidth, NarrowerOrEqualRealWidthThanLplOnAverage) {
+  // MinWidth's purpose: trade height for width. On a deterministic battery
+  // the summed real width must be strictly smaller than LPL's (individual
+  // graphs may tie).
+  double lpl_total = 0.0, mw_total = 0.0;
+  for (const auto& g : test::random_battery()) {
+    lpl_total += layering::layering_width_real(g, longest_path_layering(g));
+    mw_total += layering::layering_width_real(g, min_width_layering_best(g));
+  }
+  EXPECT_LT(mw_total, lpl_total);
+}
+
+TEST(MinWidth, TallerOrEqualThanLpl) {
+  // LPL is the minimum-height layering; MinWidth can only be taller or
+  // equal.
+  for (const auto& g : test::random_battery(12)) {
+    EXPECT_GE(layering::layering_height(min_width_layering(g)),
+              layering::layering_height(longest_path_layering(g)));
+  }
+}
+
+TEST(MinWidth, UbwOneGivesNarrowLayersOnChain) {
+  // With UBW=1 on a path, every vertex gets its own layer and real width
+  // is 1.
+  const auto g = gen::path_dag(5);
+  MinWidthParams params;
+  params.ubw = 1.0;
+  const auto l = min_width_layering(g, params);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+  EXPECT_DOUBLE_EQ(layering::layering_width_real(g, l), 1.0);
+}
+
+TEST(MinWidth, RespectsVertexWidths) {
+  // A heavy vertex dominates width regardless of parameters.
+  auto g = test::diamond();
+  g.set_width(2, 10.0);
+  const auto l = min_width_layering_best(g);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+  EXPECT_GE(layering::layering_width(g, l), 10.0);
+}
+
+TEST(MinWidth, HandlesEdgelessGraph) {
+  graph::Digraph g(6);
+  const auto l = min_width_layering(g);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+}
+
+TEST(MinWidth, HandlesEmptyGraph) {
+  graph::Digraph g;
+  const auto l = min_width_layering(g);
+  EXPECT_EQ(l.num_vertices(), 0u);
+}
+
+TEST(MinWidth, BipartiteWorstCaseStaysBounded) {
+  // K_{4,4}: LPL puts all 4 sources on one layer (width 4); MinWidth with a
+  // small UBW spreads them.
+  const auto g = gen::complete_bipartite_dag(4, 4);
+  MinWidthParams params;
+  params.ubw = 2.0;
+  params.c = 2.0;
+  const auto l = min_width_layering(g, params);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+  EXPECT_LE(layering::layering_width_real(g, l), 4.0);
+}
+
+/// Parameter sweep: every (ubw factor, c) combination must yield a valid
+/// layering on every battery graph.
+class MinWidthParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MinWidthParamSweep, AlwaysValid) {
+  const auto [ubw, c] = GetParam();
+  for (const auto& g : test::random_battery(8)) {
+    MinWidthParams params;
+    params.ubw = ubw;
+    params.c = c;
+    const auto l = min_width_layering(g, params);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << "ubw=" << ubw << " c=" << c << ": "
+        << layering::validate_layering(g, l);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MinWidthParamSweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 8.0),
+                       ::testing::Values(1.0, 2.0)));
+
+}  // namespace
+}  // namespace acolay::baselines

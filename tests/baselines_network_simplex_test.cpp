@@ -1,0 +1,119 @@
+// Tests for the network-simplex layering (Gansner et al. [5]) including
+// optimality certification against the brute-force oracle.
+#include "baselines/network_simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/longest_path.hpp"
+#include "layering/metrics.hpp"
+#include "test_util.hpp"
+
+namespace acolay::baselines {
+namespace {
+
+TEST(NetworkSimplex, ProducesValidLayerings) {
+  for (const auto& g : test::random_battery()) {
+    const auto l = network_simplex_layering(g);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << layering::validate_layering(g, l);
+  }
+}
+
+TEST(NetworkSimplex, NeverWorseThanLpl) {
+  for (const auto& g : test::random_battery()) {
+    const auto ns = network_simplex_layering(g);
+    const auto lpl = longest_path_layering(g);
+    EXPECT_LE(layering::total_edge_span(g, ns),
+              layering::total_edge_span(g, lpl));
+  }
+}
+
+TEST(NetworkSimplex, StatsAreCoherent) {
+  const auto g = test::small_dag();
+  NetworkSimplexStats stats;
+  const auto l = network_simplex_layering(g, &stats);
+  EXPECT_EQ(stats.span_after, layering::total_edge_span(g, l));
+  EXPECT_LE(stats.span_after, stats.span_before);
+  EXPECT_GE(stats.pivots, 0);
+}
+
+TEST(NetworkSimplex, OptimalOnTinyGraphsVsBruteForce) {
+  // Exhaustive certification on a dedicated battery of tiny random DAGs.
+  support::Rng root(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    support::Rng rng = root.fork(static_cast<std::uint64_t>(trial));
+    gen::GnmParams params;
+    params.num_vertices = 4 + rng.index(4);  // 4..7
+    params.num_edges =
+        params.num_vertices + rng.index(params.num_vertices);
+    params.span_bias = (trial % 2 == 0) ? 0.0 : 0.4;
+    const auto g = gen::random_dag(params, rng);
+    const int max_layers = static_cast<int>(g.num_vertices());
+    const auto optimal = brute_force_min_total_span(g, max_layers);
+    const auto ns = network_simplex_layering(g);
+    EXPECT_EQ(layering::total_edge_span(g, ns),
+              layering::total_edge_span(g, optimal))
+        << "trial " << trial << ", n=" << g.num_vertices();
+  }
+}
+
+TEST(NetworkSimplex, OptimalOnHandBuiltShapes) {
+  // Diamond: optimum total span 4 (all edges tight).
+  {
+    const auto g = test::diamond();
+    const auto l = network_simplex_layering(g);
+    EXPECT_EQ(layering::total_edge_span(g, l), 4);
+  }
+  // Triangle with a long edge: spans 1+1+2 = 4 are forced.
+  {
+    const auto g = test::triangle_with_long_edge();
+    const auto l = network_simplex_layering(g);
+    EXPECT_EQ(layering::total_edge_span(g, l), 4);
+  }
+  // K_{2,3}: every edge can be tight -> span 6.
+  {
+    const auto g = gen::complete_bipartite_dag(2, 3);
+    const auto l = network_simplex_layering(g);
+    EXPECT_EQ(layering::total_edge_span(g, l), 6);
+  }
+}
+
+TEST(NetworkSimplex, HandlesDisconnectedGraphs) {
+  const auto g = test::two_chains();
+  const auto l = network_simplex_layering(g);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+  EXPECT_EQ(layering::total_edge_span(g, l), 3);
+}
+
+TEST(NetworkSimplex, HandlesIsolatedVertices) {
+  graph::Digraph g(4);
+  g.add_edge(3, 0);
+  const auto l = network_simplex_layering(g);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+  EXPECT_EQ(layering::total_edge_span(g, l), 1);
+}
+
+TEST(NetworkSimplex, EmptyAndSingletonGraphs) {
+  graph::Digraph empty;
+  EXPECT_EQ(network_simplex_layering(empty).num_vertices(), 0u);
+  graph::Digraph one(1);
+  const auto l = network_simplex_layering(one);
+  EXPECT_EQ(l.layer(0), 1);
+}
+
+TEST(BruteForce, RejectsOversizedGraphs) {
+  graph::Digraph g(10);
+  EXPECT_THROW(brute_force_min_total_span(g, 3), support::CheckError);
+}
+
+TEST(BruteForce, ObjectiveOracleOnDiamond) {
+  const auto g = test::diamond();
+  const auto best = brute_force_max_objective(g, 4);
+  // Optimum: H=3, W=2 -> f = 0.2 (no layering of the diamond does better).
+  EXPECT_DOUBLE_EQ(layering::layering_objective(g, best), 0.2);
+  EXPECT_DOUBLE_EQ(brute_force_min_width(g, 4), 2.0);
+}
+
+}  // namespace
+}  // namespace acolay::baselines

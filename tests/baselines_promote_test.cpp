@@ -1,0 +1,107 @@
+// Tests for Promote Layering (paper §III; Nikolov & Tarassov [8]).
+#include "baselines/promote.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "baselines/min_width.hpp"
+#include "baselines/network_simplex.hpp"
+#include "layering/metrics.hpp"
+#include "test_util.hpp"
+
+namespace acolay::baselines {
+namespace {
+
+TEST(Promote, ReducesDummiesOnHandWorkedCase) {
+  // 3 -> 2 -> 0, 3 -> 1. LPL puts 1 on layer 1 (a sink) so edge (3,1) spans
+  // 2 and needs one dummy; promoting 1 to layer 2 removes it.
+  graph::Digraph g(4);
+  g.add_edge(3, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 1);
+  auto l = longest_path_layering(g);
+  EXPECT_EQ(layering::dummy_vertex_count(g, l), 1);
+  const auto stats = promote_layering(g, l);
+  EXPECT_EQ(layering::dummy_vertex_count(g, l), 0);
+  EXPECT_EQ(stats.dummies_before, 1);
+  EXPECT_EQ(stats.dummies_after, 0);
+  EXPECT_GE(stats.promotions_applied, 1);
+  EXPECT_TRUE(layering::is_valid_layering(g, l));
+}
+
+TEST(Promote, NeverIncreasesDummyCount) {
+  for (const auto& g : test::random_battery()) {
+    auto l = longest_path_layering(g);
+    const auto before = layering::dummy_vertex_count(g, l);
+    promote_layering(g, l);
+    EXPECT_LE(layering::dummy_vertex_count(g, l), before);
+    EXPECT_TRUE(layering::is_valid_layering(g, l))
+        << layering::validate_layering(g, l);
+  }
+}
+
+TEST(Promote, WorksOnMinWidthLayeringsToo) {
+  for (const auto& g : test::random_battery(12)) {
+    auto l = min_width_layering_best(g);
+    const auto before = layering::dummy_vertex_count(g, l);
+    promote_layering(g, l);
+    EXPECT_LE(layering::dummy_vertex_count(g, l), before);
+    EXPECT_TRUE(layering::is_valid_layering(g, l));
+  }
+}
+
+TEST(Promote, FixpointIsStable) {
+  for (const auto& g : test::random_battery(8)) {
+    auto l = longest_path_layering(g);
+    promote_layering(g, l);
+    const auto once = l;
+    const auto stats = promote_layering(g, l);
+    EXPECT_EQ(stats.promotions_applied, 0);
+    EXPECT_EQ(l, once);
+  }
+}
+
+TEST(Promote, ResultIsNormalized) {
+  for (const auto& g : test::random_battery(8)) {
+    auto l = longest_path_layering(g);
+    promote_layering(g, l);
+    EXPECT_EQ(l.max_layer(), l.occupied_layer_count());
+  }
+}
+
+TEST(Promote, NeverBeatsNetworkSimplex) {
+  // PL approximates the minimum-dummy layering that network simplex finds
+  // exactly (paper §III: PL is the easy alternative to [5]).
+  for (const auto& g : test::random_battery(12)) {
+    auto pl = longest_path_layering(g);
+    promote_layering(g, pl);
+    const auto ns = network_simplex_layering(g);
+    EXPECT_GE(layering::dummy_vertex_count(g, pl),
+              layering::dummy_vertex_count(g, ns));
+  }
+}
+
+TEST(Promote, RejectsInvalidInput) {
+  const auto g = test::diamond();
+  auto bad = layering::Layering::from_vector({1, 1, 1, 1});
+  EXPECT_THROW(promote_layering(g, bad), support::CheckError);
+}
+
+TEST(Promote, PromotedConvenienceMatchesInPlace) {
+  const auto g = test::small_dag();
+  auto in_place = longest_path_layering(g);
+  promote_layering(g, in_place);
+  const auto by_value = promoted(g, longest_path_layering(g));
+  EXPECT_EQ(in_place, by_value);
+}
+
+TEST(Promote, EdgelessGraphUntouched) {
+  graph::Digraph g(4);
+  auto l = layering::Layering(4);
+  const auto stats = promote_layering(g, l);
+  EXPECT_EQ(stats.promotions_applied, 0);
+  EXPECT_EQ(layering::layering_height(l), 1);
+}
+
+}  // namespace
+}  // namespace acolay::baselines

@@ -1,0 +1,96 @@
+// Tests for the pheromone matrix (paper §IV-D, Alg. 4 lines 16–17).
+#include "core/pheromone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acolay::core {
+namespace {
+
+TEST(Pheromone, InitialisesUniformly) {
+  const PheromoneMatrix tau(3, 4, 2.5);
+  for (graph::VertexId v = 0; v < 3; ++v) {
+    for (int layer = 1; layer <= 4; ++layer) {
+      EXPECT_DOUBLE_EQ(tau.at(v, layer), 2.5);
+    }
+  }
+  EXPECT_EQ(tau.num_vertices(), 3u);
+  EXPECT_EQ(tau.num_layers(), 4);
+}
+
+TEST(Pheromone, RejectsNonPositiveTau0) {
+  EXPECT_THROW(PheromoneMatrix(2, 2, 0.0), support::CheckError);
+  EXPECT_THROW(PheromoneMatrix(2, 2, -1.0), support::CheckError);
+}
+
+TEST(Pheromone, EvaporationScalesEverything) {
+  PheromoneMatrix tau(2, 3, 1.0);
+  tau.evaporate(0.5);
+  for (graph::VertexId v = 0; v < 2; ++v) {
+    for (int layer = 1; layer <= 3; ++layer) {
+      EXPECT_DOUBLE_EQ(tau.at(v, layer), 0.5);
+    }
+  }
+  tau.evaporate(0.0);  // no-op
+  EXPECT_DOUBLE_EQ(tau.at(0, 1), 0.5);
+  tau.evaporate(1.0);  // full evaporation
+  EXPECT_DOUBLE_EQ(tau.at(0, 1), 0.0);
+}
+
+TEST(Pheromone, EvaporationRejectsOutOfRangeRho) {
+  PheromoneMatrix tau(1, 1, 1.0);
+  EXPECT_THROW(tau.evaporate(-0.1), support::CheckError);
+  EXPECT_THROW(tau.evaporate(1.1), support::CheckError);
+}
+
+TEST(Pheromone, DepositAccumulates) {
+  PheromoneMatrix tau(2, 2, 1.0);
+  tau.deposit(1, 2, 0.25);
+  tau.deposit(1, 2, 0.25);
+  EXPECT_DOUBLE_EQ(tau.at(1, 2), 1.5);
+  EXPECT_DOUBLE_EQ(tau.at(0, 1), 1.0);  // untouched
+}
+
+TEST(Pheromone, DepositRejectsNegativeAmount) {
+  PheromoneMatrix tau(1, 1, 1.0);
+  EXPECT_THROW(tau.deposit(0, 1, -0.5), support::CheckError);
+}
+
+TEST(Pheromone, BoundsChecked) {
+  PheromoneMatrix tau(2, 3, 1.0);
+  EXPECT_THROW((void)tau.at(2, 1), support::CheckError);
+  EXPECT_THROW((void)tau.at(0, 0), support::CheckError);
+  EXPECT_THROW((void)tau.at(0, 4), support::CheckError);
+  EXPECT_THROW(tau.deposit(-1, 1, 0.1), support::CheckError);
+}
+
+TEST(Pheromone, ClampEnforcesBand) {
+  PheromoneMatrix tau(1, 3, 1.0);
+  tau.deposit(0, 1, 9.0);   // -> 10
+  tau.evaporate(0.0);
+  tau.clamp(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(tau.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(tau.at(0, 2), 1.0);
+  tau.evaporate(0.9);       // 0.2 / 0.1 below the floor
+  tau.clamp(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(tau.at(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(tau.min_value(), 0.5);
+  EXPECT_DOUBLE_EQ(tau.max_value(), 0.5);
+}
+
+TEST(Pheromone, TourUpdateProtocol) {
+  // One simulated tour over a 2-vertex, 3-layer instance: evaporate at
+  // rho=0.5 then tour-best deposit of 0.4 on couplings (0->2) and (1->1).
+  PheromoneMatrix tau(2, 3, 1.0);
+  tau.evaporate(0.5);
+  tau.deposit(0, 2, 0.4);
+  tau.deposit(1, 1, 0.4);
+  EXPECT_DOUBLE_EQ(tau.at(0, 2), 0.9);
+  EXPECT_DOUBLE_EQ(tau.at(1, 1), 0.9);
+  EXPECT_DOUBLE_EQ(tau.at(0, 1), 0.5);
+  // Reinforced couplings now dominate their rows.
+  EXPECT_GT(tau.at(0, 2), tau.at(0, 1));
+  EXPECT_GT(tau.at(1, 1), tau.at(1, 3));
+}
+
+}  // namespace
+}  // namespace acolay::core

@@ -1,0 +1,130 @@
+// Tests for the LPL stretching step (paper §V-A, Figs. 1–2).
+#include "core/stretch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "layering/metrics.hpp"
+#include "layering/spans.hpp"
+#include "test_util.hpp"
+
+namespace acolay::core {
+namespace {
+
+TEST(Stretch, BetweenLayersGrowsToNLayers) {
+  for (const auto& g : test::random_battery(12)) {
+    const auto lpl = baselines::longest_path_layering(g);
+    const auto stretched =
+        stretch_layering(g, lpl, StretchMode::kBetweenLayers);
+    EXPECT_EQ(stretched.num_layers, static_cast<int>(g.num_vertices()));
+    EXPECT_TRUE(layering::is_valid_layering(g, stretched.layering))
+        << layering::validate_layering(g, stretched.layering);
+    EXPECT_LE(stretched.layering.max_layer(), stretched.num_layers);
+    // Stretching only renumbers: the occupied-layer structure (and thus
+    // every paper metric except layer indices) is unchanged.
+    EXPECT_EQ(layering::normalized(stretched.layering), lpl);
+  }
+}
+
+TEST(Stretch, HandWorkedBetweenLayers) {
+  // Path of 5: LPL height 5, no new layers possible (n == n_LPL).
+  {
+    const auto g = gen::path_dag(5);
+    const auto s = stretch_layering(
+        g, baselines::longest_path_layering(g), StretchMode::kBetweenLayers);
+    EXPECT_EQ(s.num_layers, 5);
+    EXPECT_EQ(s.layering, baselines::longest_path_layering(g));
+  }
+  // Diamond: n=4, LPL height 3, one new layer into one of the two gaps.
+  {
+    const auto g = test::diamond();
+    const auto s = stretch_layering(
+        g, baselines::longest_path_layering(g), StretchMode::kBetweenLayers);
+    EXPECT_EQ(s.num_layers, 4);
+    // Gap 1 (between layers 1 and 2) receives the extra layer: sinks stay,
+    // middle and source shift up by one.
+    EXPECT_EQ(s.layering.layer(0), 1);
+    EXPECT_EQ(s.layering.layer(1), 3);
+    EXPECT_EQ(s.layering.layer(2), 3);
+    EXPECT_EQ(s.layering.layer(3), 4);
+  }
+}
+
+TEST(Stretch, BetweenLayersDistributesEvenly) {
+  // K_{1,1} chain of 3 with 6 isolated helpers: force a big nnl and verify
+  // gaps get balanced shares. LPL of path_dag(3) + 6 isolated: height 3,
+  // n = 9, nnl = 6 over 2 gaps -> 3 each.
+  graph::Digraph g(9);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto lpl = baselines::longest_path_layering(g);
+  const auto s = stretch_layering(g, lpl, StretchMode::kBetweenLayers);
+  EXPECT_EQ(s.num_layers, 9);
+  EXPECT_EQ(s.layering.layer(2), 1);
+  EXPECT_EQ(s.layering.layer(1), 5);  // 2 + 3 inserted below
+  EXPECT_EQ(s.layering.layer(0), 9);  // 3 + 6 inserted below
+}
+
+TEST(Stretch, TopBottomKeepsRelativeStructure) {
+  for (const auto& g : test::random_battery(8)) {
+    const auto lpl = baselines::longest_path_layering(g);
+    const auto stretched = stretch_layering(g, lpl, StretchMode::kTopBottom);
+    EXPECT_EQ(stretched.num_layers, static_cast<int>(g.num_vertices()));
+    EXPECT_TRUE(layering::is_valid_layering(g, stretched.layering));
+    EXPECT_EQ(layering::normalized(stretched.layering), lpl);
+    // Adjacent LPL layers stay adjacent: gaps only appear outside.
+    const int lpl_height = layering::layering_height(lpl);
+    const int below = (static_cast<int>(g.num_vertices()) - lpl_height) / 2;
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      EXPECT_EQ(stretched.layering.layer(v), lpl.layer(v) + below);
+    }
+  }
+}
+
+TEST(Stretch, NoneKeepsLayerCount) {
+  const auto g = test::small_dag();
+  const auto lpl = baselines::longest_path_layering(g);
+  const auto stretched = stretch_layering(g, lpl, StretchMode::kNone);
+  EXPECT_EQ(stretched.num_layers, 4);
+  EXPECT_EQ(stretched.layering, lpl);
+}
+
+TEST(Stretch, BetweenLayersUniformlyWidensSpans) {
+  // The design rationale of Fig. 2: inner vertices gain span too, not just
+  // sources/sinks. Check the diamond's middle vertices.
+  const auto g = test::diamond();
+  const auto lpl = baselines::longest_path_layering(g);
+  const auto none = stretch_layering(g, lpl, StretchMode::kNone);
+  const auto between = stretch_layering(g, lpl, StretchMode::kBetweenLayers);
+  const auto span_before = layering::compute_span(
+      g, none.layering, 1, std::max(none.num_layers, 1));
+  const auto span_after = layering::compute_span(
+      g, between.layering, 1, std::max(between.num_layers, 1));
+  EXPECT_GT(span_after.size(), span_before.size());
+}
+
+TEST(Stretch, EdgelessGraphGetsAllLayers) {
+  graph::Digraph g(5);
+  const layering::Layering flat(5);
+  const auto s = stretch_layering(g, flat, StretchMode::kBetweenLayers);
+  EXPECT_EQ(s.num_layers, 5);
+  EXPECT_TRUE(layering::is_valid_layering(g, s.layering));
+}
+
+TEST(Stretch, EmptyGraph) {
+  graph::Digraph g;
+  const auto s =
+      stretch_layering(g, layering::Layering(0), StretchMode::kBetweenLayers);
+  EXPECT_EQ(s.num_layers, 0);
+}
+
+TEST(Stretch, RejectsInvalidBase) {
+  const auto g = test::diamond();
+  const auto bad = layering::Layering::from_vector({1, 1, 1, 1});
+  EXPECT_THROW(stretch_layering(g, bad, StretchMode::kBetweenLayers),
+               support::CheckError);
+}
+
+}  // namespace
+}  // namespace acolay::core

@@ -1,0 +1,161 @@
+// Tests for the random-DAG generators and the Rome-like corpus substitute.
+#include "gen/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_dag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace acolay::gen {
+namespace {
+
+TEST(RandomDag, RespectsVertexAndEdgeCounts) {
+  support::Rng rng(1);
+  GnmParams params;
+  params.num_vertices = 30;
+  params.num_edges = 45;
+  const auto g = random_dag(params, rng);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_TRUE(graph::is_dag(g));
+  EXPECT_TRUE(graph::is_weakly_connected(g));
+}
+
+TEST(RandomDag, ClampsToSimpleDagMaximum) {
+  support::Rng rng(2);
+  GnmParams params;
+  params.num_vertices = 5;
+  params.num_edges = 100;  // max is 10
+  const auto g = random_dag(params, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_TRUE(graph::is_dag(g));
+}
+
+TEST(RandomDag, DeterministicInSeed) {
+  GnmParams params;
+  params.num_vertices = 20;
+  params.num_edges = 30;
+  support::Rng a(77), b(77);
+  EXPECT_EQ(random_dag(params, a), random_dag(params, b));
+}
+
+TEST(RandomDag, UnconnectedModeAllowsFragments) {
+  support::Rng rng(3);
+  GnmParams params;
+  params.num_vertices = 40;
+  params.num_edges = 5;
+  params.connected = false;
+  const auto g = random_dag(params, rng);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(graph::is_dag(g));
+}
+
+TEST(RandomLayeredDag, IsDagWithBoundedDepth) {
+  support::Rng rng(4);
+  LayeredParams params;
+  params.num_layers = 5;
+  const auto g = random_layered_dag(params, rng);
+  EXPECT_TRUE(graph::is_dag(g));
+  EXPECT_LE(graph::dag_depth(g), 4);
+}
+
+TEST(RandomTreeDag, HasSingleSourceAndTreeEdges) {
+  support::Rng rng(5);
+  const auto g = random_tree_dag(25, rng);
+  EXPECT_EQ(g.num_edges(), 24u);
+  EXPECT_EQ(graph::sources(g).size(), 1u);
+  EXPECT_TRUE(graph::is_dag(g));
+  for (graph::VertexId v = 1; v < 25; ++v) EXPECT_EQ(g.in_degree(v), 1u);
+}
+
+TEST(RandomSeriesParallel, IsConnectedDag) {
+  support::Rng rng(6);
+  const auto g = random_series_parallel(30, rng);
+  EXPECT_TRUE(graph::is_dag(g));
+  EXPECT_TRUE(graph::is_weakly_connected(g));
+  // Source 0 and sink 1 are the two terminals.
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(Corpus, MatchesThePaperShape) {
+  // Full corpus: 1277 graphs, 19 groups, n = 10..100 step 5.
+  const auto corpus = make_corpus();
+  EXPECT_EQ(corpus.graphs.size(), 1277u);
+  EXPECT_EQ(corpus.num_groups(), 19u);
+  EXPECT_EQ(corpus.group_vertices.front(), 10);
+  EXPECT_EQ(corpus.group_vertices.back(), 100);
+  for (std::size_t i = 1; i < corpus.num_groups(); ++i) {
+    EXPECT_EQ(corpus.group_vertices[i] - corpus.group_vertices[i - 1], 5);
+  }
+  // 1277 = 19 * 67 + 4: groups sized 67 or 68.
+  for (int group = 0; group < 19; ++group) {
+    const auto members = corpus.group_members(group);
+    EXPECT_GE(members.size(), 67u);
+    EXPECT_LE(members.size(), 68u);
+    for (const auto index : members) {
+      EXPECT_EQ(static_cast<int>(corpus.graphs[index].num_vertices()),
+                corpus.group_vertices[static_cast<std::size_t>(group)]);
+    }
+  }
+}
+
+TEST(Corpus, GraphsAreSparseConnectedDags) {
+  CorpusParams params;
+  params.total_graphs = 95;  // 5 per group, fast
+  const auto corpus = make_corpus(params);
+  for (const auto& g : corpus.graphs) {
+    EXPECT_TRUE(graph::is_dag(g));
+    EXPECT_TRUE(graph::is_weakly_connected(g));
+    const double density = graph::edges_per_vertex(g);
+    EXPECT_GE(density, 0.9);   // >= n-1 edges (spanning tree)
+    EXPECT_LE(density, 1.65);  // max_density + rounding
+  }
+}
+
+TEST(Corpus, DeterministicInSeed) {
+  CorpusParams params;
+  params.total_graphs = 38;
+  const auto a = make_corpus(params);
+  const auto b = make_corpus(params);
+  ASSERT_EQ(a.graphs.size(), b.graphs.size());
+  for (std::size_t i = 0; i < a.graphs.size(); ++i) {
+    EXPECT_EQ(a.graphs[i], b.graphs[i]);
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  CorpusParams a_params;
+  a_params.total_graphs = 19;
+  CorpusParams b_params = a_params;
+  b_params.seed = a_params.seed + 1;
+  const auto a = make_corpus(a_params);
+  const auto b = make_corpus(b_params);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.graphs.size(); ++i) {
+    if (!(a.graphs[i] == b.graphs[i])) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Corpus, SubsampleIsAPrefixOfTheFullCorpus) {
+  // The subsample must measure exactly the same graphs the full corpus
+  // starts each group with (stream-per-(group, index) construction).
+  CorpusParams params;
+  const auto sub = make_corpus_subsample(params, 3);
+  const auto full = make_corpus(params);
+  EXPECT_EQ(sub.graphs.size(), 19u * 3u);
+  for (int group = 0; group < 19; ++group) {
+    const auto sub_members = sub.group_members(group);
+    const auto full_members = full.group_members(group);
+    ASSERT_EQ(sub_members.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(sub.graphs[sub_members[i]], full.graphs[full_members[i]]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acolay::gen

@@ -1,0 +1,216 @@
+// Unit + property tests for graph/algorithms.
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/properties.hpp"
+#include "test_util.hpp"
+
+namespace acolay::graph {
+namespace {
+
+bool respects_topological_order(const Digraph& g,
+                                const std::vector<VertexId>& order) {
+  std::vector<int> position(g.num_vertices(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const auto& [u, v] : g.edges()) {
+    if (position[static_cast<std::size_t>(u)] >=
+        position[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TopologicalOrder, ValidOnDiamond) {
+  const auto g = test::diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 4u);
+  EXPECT_TRUE(respects_topological_order(g, *order));
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(TopologicalOrder, EmptyGraph) {
+  Digraph g;
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(FindCycle, ReturnsActualCycle) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);  // cycle 1 -> 2 -> 3 -> 1
+  g.add_edge(0, 4);
+  const auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 2u);
+  // Every consecutive pair is an edge, and the last wraps to the first.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    const auto u = (*cycle)[i];
+    const auto v = (*cycle)[(i + 1) % cycle->size()];
+    EXPECT_TRUE(g.has_edge(u, v)) << u << " -> " << v;
+  }
+}
+
+TEST(FindCycle, NulloptOnDag) {
+  EXPECT_FALSE(find_cycle(test::small_dag()).has_value());
+}
+
+TEST(SourcesSinks, SmallDag) {
+  const auto g = test::small_dag();
+  const auto src = sources(g);
+  const auto snk = sinks(g);
+  EXPECT_EQ(src, (std::vector<VertexId>{5, 6}));
+  EXPECT_EQ(snk, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(LongestPath, ToSinkOnSmallDag) {
+  const auto g = test::small_dag();
+  const auto dist = longest_path_to_sink(g);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 0);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[3], 2);
+  EXPECT_EQ(dist[4], 2);
+  EXPECT_EQ(dist[5], 3);
+  EXPECT_EQ(dist[6], 3);
+}
+
+TEST(LongestPath, FromSourceOnSmallDag) {
+  const auto g = test::small_dag();
+  const auto dist = longest_path_from_source(g);
+  EXPECT_EQ(dist[5], 0);
+  EXPECT_EQ(dist[6], 0);
+  EXPECT_EQ(dist[3], 1);
+  EXPECT_EQ(dist[4], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[0], 3);
+  EXPECT_EQ(dist[1], 3);
+}
+
+TEST(LongestPath, RequiresDag) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(longest_path_to_sink(g), support::CheckError);
+}
+
+TEST(Components, TwoChains) {
+  const auto g = test::two_chains();
+  const auto [comp, count] = weakly_connected_components(g);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(comp[4], comp[2]);
+  EXPECT_EQ(comp[2], comp[0]);
+  EXPECT_EQ(comp[3], comp[1]);
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_FALSE(is_weakly_connected(g));
+  EXPECT_TRUE(is_weakly_connected(test::diamond()));
+}
+
+TEST(BfsOrder, VisitsEveryVertexOnce) {
+  const auto g = test::two_chains();
+  const auto order = bfs_order(g);
+  std::set<VertexId> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), g.num_vertices());
+  EXPECT_EQ(seen.size(), g.num_vertices());
+}
+
+TEST(DfsPostorder, EveryVertexAfterItsSuccessors) {
+  const auto g = test::small_dag();
+  const auto order = dfs_postorder(g);
+  std::vector<int> position(g.num_vertices());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_LT(position[static_cast<std::size_t>(v)],
+              position[static_cast<std::size_t>(u)]);
+  }
+}
+
+TEST(Reverse, FlipsEveryEdge) {
+  const auto g = test::small_dag();
+  const auto r = reverse(g);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) EXPECT_TRUE(r.has_edge(v, u));
+}
+
+TEST(TransitiveClosure, DiamondReachability) {
+  const auto g = test::diamond();
+  const auto closure = transitive_closure(g);
+  EXPECT_TRUE(closure[3][0]);
+  EXPECT_TRUE(closure[3][1]);
+  EXPECT_TRUE(closure[3][2]);
+  EXPECT_TRUE(closure[1][0]);
+  EXPECT_FALSE(closure[1][2]);
+  EXPECT_FALSE(closure[0][3]);
+}
+
+TEST(TransitiveReduction, RemovesShortcutOnly) {
+  const auto g = test::triangle_with_long_edge();
+  const auto r = transitive_reduction(g);
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_FALSE(r.has_edge(2, 0));
+  EXPECT_EQ(r.num_edges(), 2u);
+}
+
+TEST(TransitiveReduction, PreservesReachability) {
+  for (const auto& g : test::random_battery(10)) {
+    const auto r = transitive_reduction(g);
+    EXPECT_LE(r.num_edges(), g.num_edges());
+    const auto before = transitive_closure(g);
+    const auto after = transitive_closure(r);
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(InducedSubgraph, KeepsInternalEdges) {
+  const auto g = test::small_dag();
+  const auto sub = induced_subgraph(g, {5, 3, 2});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_TRUE(sub.has_edge(0, 1));  // 5 -> 3
+  EXPECT_TRUE(sub.has_edge(1, 2));  // 3 -> 2
+  EXPECT_EQ(sub.num_edges(), 2u);
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  const auto g = test::diamond();
+  EXPECT_THROW(induced_subgraph(g, {1, 1}), support::CheckError);
+}
+
+TEST(Properties, DegreeStatsAndDepth) {
+  const auto g = test::small_dag();
+  const auto stats = degree_stats(g);
+  EXPECT_EQ(stats.max_out, 2u);
+  EXPECT_EQ(stats.max_in, 2u);
+  EXPECT_DOUBLE_EQ(edges_per_vertex(g), 8.0 / 7.0);
+  EXPECT_EQ(dag_depth(g), 3);
+}
+
+TEST(Properties, RandomBatteryGraphsAreDags) {
+  for (const auto& g : test::random_battery()) {
+    EXPECT_TRUE(is_dag(g));
+    EXPECT_TRUE(is_weakly_connected(g));
+  }
+}
+
+}  // namespace
+}  // namespace acolay::graph

@@ -1,0 +1,106 @@
+// Unit tests for graph/digraph.
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "test_util.hpp"
+
+namespace acolay::graph {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, AddVertexAssignsSequentialIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_vertex(), 0);
+  EXPECT_EQ(g.add_vertex(), 1);
+  EXPECT_EQ(g.add_vertex(2.5, "node"), 2);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_DOUBLE_EQ(g.width(2), 2.5);
+  EXPECT_EQ(g.label(2), "node");
+}
+
+TEST(Digraph, DefaultWidthIsOneUnit) {
+  // Paper §II: unlabeled vertices have width one unit.
+  Digraph g(3);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(g.width(v), 1.0);
+}
+
+TEST(Digraph, AddEdgeUpdatesAdjacency) {
+  Digraph g(3);
+  EXPECT_TRUE(g.add_edge(2, 0));
+  EXPECT_TRUE(g.add_edge(2, 1));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Digraph, DuplicateEdgeRejected) {
+  Digraph g(2);
+  EXPECT_TRUE(g.add_edge(1, 0));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, SelfLoopIsContractViolation) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), support::CheckError);
+}
+
+TEST(Digraph, OutOfRangeVertexIsContractViolation) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), support::CheckError);
+  EXPECT_THROW((void)g.width(-1), support::CheckError);
+  EXPECT_THROW((void)g.successors(2), support::CheckError);
+}
+
+TEST(Digraph, NegativeWidthRejected) {
+  Digraph g(1);
+  EXPECT_THROW(g.set_width(0, -1.0), support::CheckError);
+}
+
+TEST(Digraph, EdgesListsAllEdges) {
+  const auto g = test::diamond();
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(Digraph, TotalVertexWidth) {
+  Digraph g;
+  g.add_vertex(1.0);
+  g.add_vertex(2.0);
+  g.add_vertex(0.5);
+  EXPECT_DOUBLE_EQ(g.total_vertex_width(), 3.5);
+}
+
+TEST(Digraph, EqualityIgnoresAdjacencyOrder) {
+  Digraph a(3), b(3);
+  a.add_edge(2, 0);
+  a.add_edge(2, 1);
+  b.add_edge(2, 1);
+  b.add_edge(2, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Digraph, EqualityDetectsDifferences) {
+  Digraph a(3), b(3);
+  a.add_edge(2, 0);
+  b.add_edge(2, 1);
+  EXPECT_FALSE(a == b);
+  Digraph c(3);
+  c.add_edge(2, 0);
+  c.set_width(1, 4.0);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace acolay::graph

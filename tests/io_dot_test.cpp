@@ -1,0 +1,106 @@
+// Tests for DOT writing and the DOT-subset parser.
+#include "io/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "test_util.hpp"
+
+namespace acolay::io {
+namespace {
+
+TEST(DotWriter, EmitsVerticesAndEdges) {
+  const auto g = test::diamond();
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph acolay {"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0;"), std::string::npos);
+}
+
+TEST(DotWriter, EmitsRankGroupsForLayering) {
+  const auto g = test::diamond();
+  const auto l = baselines::longest_path_layering(g);
+  DotWriteOptions opts;
+  opts.layering = &l;
+  const auto dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+  // Top layer (source 3) emitted first.
+  EXPECT_LT(dot.find("{ rank=same; n3;"), dot.find("{ rank=same; n0;"));
+}
+
+TEST(DotWriter, QuotesSpecialLabels) {
+  graph::Digraph g(1);
+  g.set_label(0, "a \"quoted\" name");
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+TEST(DotParser, ParsesSimpleDigraph) {
+  const auto g = from_dot("digraph test { a -> b; b -> c; a -> c; }");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.label(0), "a");
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(DotParser, HandlesEdgeChains) {
+  const auto g = from_dot("digraph { a -> b -> c -> d; }");
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(DotParser, ReadsAttributes) {
+  const auto g = from_dot(
+      "digraph { x [label=\"Big Node\", width=2.5]; x -> y; }");
+  EXPECT_EQ(g.label(0), "Big Node");
+  EXPECT_DOUBLE_EQ(g.width(0), 2.5);
+  EXPECT_DOUBLE_EQ(g.width(1), 1.0);
+}
+
+TEST(DotParser, SkipsCommentsAndGraphAttrs) {
+  const auto g = from_dot(R"(
+    digraph G {
+      // line comment
+      graph [rankdir=TB]
+      node [shape=box]
+      /* block
+         comment */
+      a -> b;
+    }
+  )");
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DotParser, AcceptsAnonymousAndStrictGraphs) {
+  EXPECT_EQ(from_dot("strict digraph { a -> b; }").num_edges(), 1u);
+  EXPECT_EQ(from_dot("digraph { a; b; }").num_vertices(), 2u);
+}
+
+TEST(DotParser, FoldsDuplicateEdges) {
+  const auto g = from_dot("digraph { a -> b; a -> b; }");
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DotParser, RejectsMalformedInput) {
+  EXPECT_THROW(from_dot("graph { a -- b; }"), support::CheckError);
+  EXPECT_THROW(from_dot("digraph { a -> ; }"), support::CheckError);
+  EXPECT_THROW(from_dot("digraph { a [label=\"unterminated ; }"),
+               support::CheckError);
+}
+
+TEST(DotRoundTrip, PreservesStructureAndAttributes) {
+  for (const auto& g : test::random_battery(8)) {
+    const auto parsed = from_dot(to_dot(g));
+    ASSERT_EQ(parsed.num_vertices(), g.num_vertices());
+    ASSERT_EQ(parsed.num_edges(), g.num_edges());
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_TRUE(parsed.has_edge(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acolay::io

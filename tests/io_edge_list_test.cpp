@@ -1,0 +1,53 @@
+// Tests for the plain edge-list format.
+#include "io/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace acolay::io {
+namespace {
+
+TEST(EdgeList, WriterEmitsHeaderAndPairs) {
+  const auto g = test::triangle_with_long_edge();
+  const auto text = to_edge_list(g);
+  EXPECT_NE(text.find("n 3"), std::string::npos);
+  EXPECT_NE(text.find("2 1"), std::string::npos);
+}
+
+TEST(EdgeList, ParserReadsPairs) {
+  const auto g = from_edge_list("2 0\n2 1\n1 0\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(EdgeList, DeclaredCountAllowsIsolatedVertices) {
+  const auto g = from_edge_list("n 5\n1 0\n");
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeList, SkipsCommentsAndBlankLines) {
+  const auto g = from_edge_list("# comment\n\n1 0\n  \n# more\n2 1\n");
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeList, RejectsMalformedLines) {
+  EXPECT_THROW(from_edge_list("1 2 3\n"), support::CheckError);
+  EXPECT_THROW(from_edge_list("a b\n"), support::CheckError);
+  EXPECT_THROW(from_edge_list("-1 0\n"), support::CheckError);
+  EXPECT_THROW(from_edge_list("n 2\n5 0\n"), support::CheckError);
+}
+
+TEST(EdgeList, RoundTrip) {
+  for (const auto& g : test::random_battery(8)) {
+    const auto parsed = from_edge_list(to_edge_list(g));
+    ASSERT_EQ(parsed.num_vertices(), g.num_vertices());
+    ASSERT_EQ(parsed.num_edges(), g.num_edges());
+    for (const auto& [u, v] : g.edges()) EXPECT_TRUE(parsed.has_edge(u, v));
+  }
+}
+
+}  // namespace
+}  // namespace acolay::io

@@ -1,0 +1,93 @@
+// Tests for GML reading/writing (the paper corpus's exchange format).
+#include "io/gml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace acolay::io {
+namespace {
+
+TEST(GmlWriter, EmitsDirectedGraph) {
+  const auto g = test::diamond();
+  const auto gml = to_gml(g);
+  EXPECT_NE(gml.find("graph ["), std::string::npos);
+  EXPECT_NE(gml.find("directed 1"), std::string::npos);
+  EXPECT_NE(gml.find("source 3"), std::string::npos);
+}
+
+TEST(GmlParser, ParsesNodesAndEdges) {
+  const auto g = from_gml(R"(
+    graph [
+      directed 1
+      node [ id 10 label "alpha" ]
+      node [ id 20 label "beta" width 2.0 ]
+      edge [ source 10 target 20 ]
+    ]
+  )");
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.label(0), "alpha");
+  EXPECT_DOUBLE_EQ(g.width(1), 2.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GmlParser, SkipsUnknownSections) {
+  // Rome/AT&T GML files carry graphics blocks; they must parse cleanly.
+  const auto g = from_gml(R"(
+    graph [
+      directed 1
+      label "whole graph"
+      node [
+        id 1
+        graphics [ x 10.5 y 20.0 w 30 h 30 type "rectangle" ]
+        label "n1"
+      ]
+      node [ id 2 label "n2" ]
+      edge [ source 1 target 2 graphics [ type "line" ] ]
+    ]
+  )");
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.label(0), "n1");
+}
+
+TEST(GmlParser, HandlesCommentsAndArbitraryIds) {
+  const auto g = from_gml(R"(
+    # a comment line
+    graph [
+      node [ id 1000 ]
+      node [ id -5 ]
+      edge [ source 1000 target -5 ]
+    ]
+  )");
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GmlParser, RejectsMalformedInput) {
+  EXPECT_THROW(from_gml("not gml at all"), support::CheckError);
+  EXPECT_THROW(from_gml("graph [ node [ label \"no id\" ] ]"),
+               support::CheckError);
+  EXPECT_THROW(from_gml("graph [ edge [ source 1 ] ]"),
+               support::CheckError);
+  EXPECT_THROW(from_gml("graph [ node [ id 1 ]"), support::CheckError);
+}
+
+TEST(GmlRoundTrip, PreservesStructureAndAttributes) {
+  for (const auto& g : test::random_battery(8)) {
+    const auto parsed = from_gml(to_gml(g));
+    ASSERT_EQ(parsed.num_vertices(), g.num_vertices());
+    ASSERT_EQ(parsed.num_edges(), g.num_edges());
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_TRUE(parsed.has_edge(u, v));
+    }
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(parsed.width(v), g.width(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acolay::io

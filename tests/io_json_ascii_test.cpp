@@ -1,0 +1,111 @@
+// Tests for JSON export and the ASCII layering renderer.
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "io/json.hpp"
+#include "layering/metrics.hpp"
+#include "sugiyama/ascii.hpp"
+#include "test_util.hpp"
+
+namespace acolay {
+namespace {
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(io::json_escape("plain"), "plain");
+  EXPECT_EQ(io::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(io::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(io::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(io::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, GraphExportContainsEverything) {
+  auto g = test::diamond();
+  g.set_label(3, "root");
+  g.set_width(3, 2.5);
+  const auto json = io::to_json(g);
+  EXPECT_NE(json.find("\"num_vertices\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"root\""), std::string::npos);
+  EXPECT_NE(json.find("\"width\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("{\"source\":3,\"target\":1}"), std::string::npos);
+}
+
+TEST(Json, LayeringExportIsOneBased) {
+  const auto l = layering::Layering::from_vector({1, 2, 2, 3});
+  const auto json = io::to_json(l);
+  EXPECT_EQ(json, "{\"layers\":[1,2,2,3],\"height\":3}");
+}
+
+TEST(Json, MetricsExportRoundNumbers) {
+  const auto g = test::diamond();
+  const auto l = layering::Layering::from_vector({1, 2, 2, 3});
+  const auto json = io::to_json(layering::compute_metrics(g, l));
+  EXPECT_NE(json.find("\"height\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"width_incl_dummies\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"objective\":0.2"), std::string::npos);
+}
+
+TEST(Json, ReportCombinesSections) {
+  const auto g = test::small_dag();
+  const auto l = baselines::longest_path_layering(g);
+  const auto json = io::layering_report_json(g, l);
+  EXPECT_EQ(json.find("{\"graph\":{"), 0u);
+  EXPECT_NE(json.find(",\"layering\":{"), std::string::npos);
+  EXPECT_NE(json.find(",\"metrics\":{"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Ascii, RendersTopLayerFirst) {
+  auto g = test::diamond();
+  g.set_label(3, "root");
+  const auto l = layering::Layering::from_vector({1, 2, 2, 3});
+  const auto text = sugiyama::render_ascii(g, l);
+  const auto root_pos = text.find("[root]");
+  const auto sink_pos = text.find("[0]");
+  ASSERT_NE(root_pos, std::string::npos);
+  ASSERT_NE(sink_pos, std::string::npos);
+  EXPECT_LT(root_pos, sink_pos);
+  EXPECT_EQ(text.find("L3"), 0u);  // top layer heads the output
+}
+
+TEST(Ascii, ShowsDummyCountsAndWidths) {
+  const auto g = test::triangle_with_long_edge();
+  const auto l = layering::Layering::from_vector({1, 2, 3});
+  const auto text = sugiyama::render_ascii(g, l);
+  EXPECT_NE(text.find("+1d"), std::string::npos);    // dummy on layer 2
+  EXPECT_NE(text.find("(w=2.0)"), std::string::npos);
+}
+
+TEST(Ascii, TruncatesLongLabels) {
+  graph::Digraph g(1);
+  g.set_label(0, "extremely-long-module-name");
+  sugiyama::AsciiOptions opts;
+  opts.max_label = 6;
+  const auto text = sugiyama::render_ascii(g, layering::Layering(1), opts);
+  EXPECT_NE(text.find("[extre~]"), std::string::npos);
+}
+
+TEST(Ascii, RejectsInvalidLayering) {
+  const auto g = test::diamond();
+  const auto bad = layering::Layering::from_vector({1, 1, 1, 1});
+  EXPECT_THROW(sugiyama::render_ascii(g, bad), support::CheckError);
+}
+
+TEST(Ascii, EveryVertexAppearsExactlyOnce) {
+  for (const auto& g : test::random_battery(5)) {
+    const auto l = baselines::longest_path_layering(g);
+    const auto text = sugiyama::render_ascii(g, l);
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      const std::string token = "[" + std::to_string(v) + "]";
+      const auto first = text.find(token);
+      ASSERT_NE(first, std::string::npos) << token;
+      EXPECT_EQ(text.find(token, first + 1), std::string::npos)
+          << token << " appears twice";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acolay

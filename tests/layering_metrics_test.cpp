@@ -1,0 +1,147 @@
+// Unit + invariant tests for layering/metrics: the paper's five evaluation
+// criteria.
+#include "layering/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "layering/proper.hpp"
+#include "test_util.hpp"
+
+namespace acolay::layering {
+namespace {
+
+TEST(Metrics, DiamondBasics) {
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({1, 2, 2, 3});
+  EXPECT_EQ(layering_height(l), 3);
+  EXPECT_DOUBLE_EQ(layering_width(g, l), 2.0);
+  EXPECT_DOUBLE_EQ(layering_width_real(g, l), 2.0);
+  EXPECT_EQ(dummy_vertex_count(g, l), 0);
+  EXPECT_EQ(total_edge_span(g, l), 4);
+  EXPECT_EQ(edge_density(g, l), 2);
+}
+
+TEST(Metrics, LongEdgeCreatesDummy) {
+  const auto g = test::triangle_with_long_edge();
+  const auto l = Layering::from_vector({1, 2, 3});
+  EXPECT_EQ(dummy_vertex_count(g, l), 1);  // edge 2 -> 0 spans 2
+  // Layer 2 holds vertex 1 (width 1) plus the dummy of edge (2,0).
+  EXPECT_DOUBLE_EQ(layering_width(g, l), 2.0);
+  EXPECT_DOUBLE_EQ(layering_width_real(g, l), 1.0);
+}
+
+TEST(Metrics, DummyWidthScalesContribution) {
+  const auto g = test::triangle_with_long_edge();
+  const auto l = Layering::from_vector({1, 2, 3});
+  MetricsOptions opts;
+  opts.dummy_width = 0.25;
+  EXPECT_DOUBLE_EQ(layering_width(g, l, opts), 1.25);
+}
+
+TEST(Metrics, WidthUsesVertexWidths) {
+  auto g = test::diamond();
+  g.set_width(1, 3.0);
+  g.set_width(2, 2.0);
+  const auto l = Layering::from_vector({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(layering_width(g, l), 5.0);
+}
+
+TEST(Metrics, EdgeDensityCountsSpanningEdges) {
+  const auto g = test::triangle_with_long_edge();
+  const auto l = Layering::from_vector({1, 2, 3});
+  // Gap 1-2: edges (1,0) and (2,0) -> 2. Gap 2-3: (2,1) and (2,0) -> 2.
+  const auto gaps = edges_per_gap(g, l);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], 2);
+  EXPECT_EQ(gaps[1], 2);
+  EXPECT_EQ(edge_density(g, l), 2);
+  EXPECT_DOUBLE_EQ(edge_density_normalized(g, l), 2.0 / 3.0);
+}
+
+TEST(Metrics, SingleLayerEdgelessGraph) {
+  graph::Digraph g(3);
+  const Layering l(3);
+  EXPECT_EQ(layering_height(l), 1);
+  EXPECT_DOUBLE_EQ(layering_width(g, l), 3.0);
+  EXPECT_EQ(edge_density(g, l), 0);
+  EXPECT_DOUBLE_EQ(edge_density_normalized(g, l), 0.0);
+}
+
+TEST(Metrics, ObjectiveMatchesDefinition) {
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({1, 2, 2, 3});
+  // H = 3, W = 2 -> f = 1/5.
+  EXPECT_DOUBLE_EQ(layering_objective(g, l), 0.2);
+  const auto m = compute_metrics(g, l);
+  EXPECT_DOUBLE_EQ(m.objective, 0.2);
+}
+
+TEST(Metrics, BundleIsConsistent) {
+  for (const auto& g : test::random_battery(12)) {
+    const auto l = baselines::longest_path_layering(g);
+    const auto m = compute_metrics(g, l);
+    EXPECT_EQ(m.height, layering_height(l));
+    EXPECT_DOUBLE_EQ(m.width_incl_dummies, layering_width(g, l));
+    EXPECT_DOUBLE_EQ(m.width_excl_dummies, layering_width_real(g, l));
+    EXPECT_EQ(m.dummy_count, dummy_vertex_count(g, l));
+    EXPECT_EQ(m.total_span, total_edge_span(g, l));
+    // Structural invariants.
+    EXPECT_GE(m.width_incl_dummies, m.width_excl_dummies);
+    EXPECT_EQ(m.dummy_count,
+              m.total_span - static_cast<std::int64_t>(g.num_edges()));
+    EXPECT_LE(m.edge_density, static_cast<std::int64_t>(g.num_edges()));
+    EXPECT_GT(m.objective, 0.0);
+  }
+}
+
+TEST(Metrics, WidthProfileMatchesDummiesPerLayer) {
+  for (const auto& g : test::random_battery(8)) {
+    const auto l = baselines::longest_path_layering(g);
+    const auto incl = layer_width_profile(g, l, 1.0, true);
+    const auto excl = layer_width_profile(g, l, 1.0, false);
+    const auto dummies = dummies_per_layer(g, l);
+    ASSERT_EQ(incl.size(), excl.size());
+    ASSERT_EQ(incl.size(), dummies.size());
+    std::int64_t total_dummies = 0;
+    for (std::size_t i = 0; i < incl.size(); ++i) {
+      EXPECT_NEAR(incl[i] - excl[i], static_cast<double>(dummies[i]), 1e-9);
+      total_dummies += dummies[i];
+    }
+    EXPECT_EQ(total_dummies, dummy_vertex_count(g, l));
+  }
+}
+
+TEST(Proper, MakeProperSubdividesLongEdges) {
+  const auto g = test::triangle_with_long_edge();
+  const auto l = Layering::from_vector({1, 2, 3});
+  const auto proper = make_proper(g, l, 0.5);
+  EXPECT_EQ(proper.graph.num_vertices(), 4u);  // one dummy
+  EXPECT_EQ(proper.num_real_vertices(), 3u);
+  EXPECT_EQ(proper.dummy_origin.size(), 1u);
+  EXPECT_EQ(proper.dummy_origin[0], (graph::Edge{2, 0}));
+  EXPECT_DOUBLE_EQ(proper.graph.width(3), 0.5);
+  // Every edge span in the proper graph is exactly 1.
+  for (const auto& [u, v] : proper.graph.edges()) {
+    EXPECT_EQ(proper.layering.layer(u) - proper.layering.layer(v), 1);
+  }
+}
+
+TEST(Proper, DummyCountMatchesMetric) {
+  for (const auto& g : test::random_battery(10)) {
+    const auto l = baselines::longest_path_layering(g);
+    const auto proper = make_proper(g, l);
+    EXPECT_EQ(static_cast<std::int64_t>(proper.dummy_origin.size()),
+              dummy_vertex_count(g, l));
+    EXPECT_TRUE(is_valid_layering(proper.graph, proper.layering));
+  }
+}
+
+TEST(Proper, RejectsInvalidLayering) {
+  const auto g = test::diamond();
+  const auto bad = Layering::from_vector({1, 1, 1, 1});
+  EXPECT_THROW(make_proper(g, bad), support::CheckError);
+}
+
+}  // namespace
+}  // namespace acolay::layering

@@ -1,0 +1,122 @@
+// Unit tests for layering/layering: the Layering type, validation, and
+// normalization.
+#include "layering/layering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "test_util.hpp"
+
+namespace acolay::layering {
+namespace {
+
+TEST(Layering, DefaultsToLayerOne) {
+  Layering l(4);
+  for (graph::VertexId v = 0; v < 4; ++v) EXPECT_EQ(l.layer(v), 1);
+  EXPECT_EQ(l.max_layer(), 1);
+  EXPECT_EQ(l.occupied_layer_count(), 1);
+}
+
+TEST(Layering, SetLayerRejectsNonPositive) {
+  Layering l(2);
+  EXPECT_THROW(l.set_layer(0, 0), support::CheckError);
+  EXPECT_THROW(l.set_layer(0, -3), support::CheckError);
+}
+
+TEST(Layering, FromVectorValidates) {
+  EXPECT_THROW(Layering::from_vector({1, 0}), support::CheckError);
+  const auto l = Layering::from_vector({2, 1, 3});
+  EXPECT_EQ(l.layer(0), 2);
+  EXPECT_EQ(l.max_layer(), 3);
+}
+
+TEST(Layering, MembersGroupsByLayer) {
+  const auto l = Layering::from_vector({1, 1, 2, 4});
+  const auto members = l.members();
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0], (std::vector<graph::VertexId>{0, 1}));
+  EXPECT_EQ(members[1], (std::vector<graph::VertexId>{2}));
+  EXPECT_TRUE(members[2].empty());
+  EXPECT_EQ(members[3], (std::vector<graph::VertexId>{3}));
+}
+
+TEST(Layering, MembersPadsToRequestedLayers) {
+  const auto l = Layering::from_vector({1});
+  EXPECT_EQ(l.members(5).size(), 5u);
+}
+
+TEST(Validation, AcceptsProperDiamond) {
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({1, 2, 2, 3});
+  EXPECT_TRUE(is_valid_layering(g, l));
+  EXPECT_TRUE(validate_layering(g, l).empty());
+}
+
+TEST(Validation, RejectsEqualLayers) {
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({1, 2, 2, 2});
+  EXPECT_FALSE(is_valid_layering(g, l));
+  EXPECT_NE(validate_layering(g, l).find("edge"), std::string::npos);
+}
+
+TEST(Validation, RejectsInvertedEdge) {
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({4, 2, 2, 1});
+  EXPECT_FALSE(is_valid_layering(g, l));
+}
+
+TEST(Validation, RejectsSizeMismatch) {
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({1, 2});
+  EXPECT_FALSE(is_valid_layering(g, l));
+}
+
+TEST(Validation, LongSpansAreValid) {
+  // Validity only needs layer(u) > layer(v); spans > 1 create dummies but
+  // remain valid.
+  const auto g = test::diamond();
+  const auto l = Layering::from_vector({1, 5, 3, 9});
+  EXPECT_TRUE(is_valid_layering(g, l));
+}
+
+TEST(Normalize, RemovesEmptyLayers) {
+  auto l = Layering::from_vector({1, 5, 3, 9});
+  const int removed = normalize(l);
+  EXPECT_EQ(removed, 5);  // layers 2,4,6,7,8 disappeared
+  EXPECT_EQ(l.layer(0), 1);
+  EXPECT_EQ(l.layer(2), 2);
+  EXPECT_EQ(l.layer(1), 3);
+  EXPECT_EQ(l.layer(3), 4);
+  EXPECT_EQ(l.max_layer(), 4);
+}
+
+TEST(Normalize, IdempotentOnDenseLayering) {
+  auto l = Layering::from_vector({1, 2, 2, 3});
+  EXPECT_EQ(normalize(l), 0);
+  EXPECT_EQ(l, Layering::from_vector({1, 2, 2, 3}));
+}
+
+TEST(Normalize, PreservesValidity) {
+  for (const auto& g : test::random_battery(12)) {
+    auto l = baselines::longest_path_layering(g);
+    // Artificially stretch every layer index by 3x, then normalize back.
+    for (graph::VertexId v = 0;
+         static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+      l.set_layer(v, l.layer(v) * 3);
+    }
+    ASSERT_TRUE(is_valid_layering(g, l));
+    normalize(l);
+    EXPECT_TRUE(is_valid_layering(g, l));
+    EXPECT_EQ(l.max_layer(), l.occupied_layer_count());
+  }
+}
+
+TEST(Normalize, CopyingVariantLeavesInputAlone) {
+  const auto l = Layering::from_vector({1, 7});
+  const auto dense = normalized(l);
+  EXPECT_EQ(l.layer(1), 7);
+  EXPECT_EQ(dense.layer(1), 2);
+}
+
+}  // namespace
+}  // namespace acolay::layering

@@ -1,0 +1,127 @@
+// Tests for crossing counting and the barycenter/median ordering sweeps.
+#include "sugiyama/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/longest_path.hpp"
+#include "layering/proper.hpp"
+#include "test_util.hpp"
+
+namespace acolay::sugiyama {
+namespace {
+
+TEST(CrossingCount, TwoParallelEdgesDoNotCross) {
+  graph::Digraph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(3, 1);
+  EXPECT_EQ(count_crossings_between(g, {2, 3}, {0, 1}), 0);
+  EXPECT_EQ(count_crossings_between(g, {2, 3}, {1, 0}), 1);
+}
+
+TEST(CrossingCount, CompleteBipartiteK22) {
+  // K_{2,2}: exactly one crossing in any ordering.
+  const auto g = gen::complete_bipartite_dag(2, 2);
+  EXPECT_EQ(count_crossings_between(g, {0, 1}, {2, 3}), 1);
+}
+
+TEST(CrossingCount, SharedEndpointNeverCrosses) {
+  graph::Digraph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  EXPECT_EQ(count_crossings_between(g, {2}, {0, 1}), 0);
+  EXPECT_EQ(count_crossings_between(g, {2}, {1, 0}), 0);
+}
+
+TEST(CrossingCount, MatchesBruteForceOnRandomBipartite) {
+  support::Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t top = 2 + rng.index(5);
+    const std::size_t bottom = 2 + rng.index(5);
+    graph::Digraph g(top + bottom);
+    std::vector<graph::Edge> edges;
+    for (std::size_t u = 0; u < top; ++u) {
+      for (std::size_t b = 0; b < bottom; ++b) {
+        if (rng.bernoulli(0.45)) {
+          g.add_edge(static_cast<graph::VertexId>(u),
+                     static_cast<graph::VertexId>(top + b));
+          edges.push_back({static_cast<graph::VertexId>(u),
+                           static_cast<graph::VertexId>(top + b)});
+        }
+      }
+    }
+    std::vector<graph::VertexId> upper, lower;
+    for (std::size_t u = 0; u < top; ++u) {
+      upper.push_back(static_cast<graph::VertexId>(u));
+    }
+    for (std::size_t b = 0; b < bottom; ++b) {
+      lower.push_back(static_cast<graph::VertexId>(top + b));
+    }
+    rng.shuffle(upper);
+    rng.shuffle(lower);
+    // Brute force: pairwise inversion test.
+    std::vector<int> upos(g.num_vertices()), lpos(g.num_vertices());
+    for (std::size_t i = 0; i < upper.size(); ++i) {
+      upos[static_cast<std::size_t>(upper[i])] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      lpos[static_cast<std::size_t>(lower[i])] = static_cast<int>(i);
+    }
+    std::int64_t expected = 0;
+    for (std::size_t a = 0; a < edges.size(); ++a) {
+      for (std::size_t b = a + 1; b < edges.size(); ++b) {
+        const int ua = upos[static_cast<std::size_t>(edges[a].source)];
+        const int ub = upos[static_cast<std::size_t>(edges[b].source)];
+        const int va = lpos[static_cast<std::size_t>(edges[a].target)];
+        const int vb = lpos[static_cast<std::size_t>(edges[b].target)];
+        if ((ua < ub && va > vb) || (ua > ub && va < vb)) ++expected;
+      }
+    }
+    EXPECT_EQ(count_crossings_between(g, upper, lower), expected);
+  }
+}
+
+TEST(Ordering, ReducesCrossingsOnBattery) {
+  for (const auto& g : test::random_battery(10)) {
+    const auto l = baselines::longest_path_layering(g);
+    const auto proper = layering::make_proper(g, l);
+    // Baseline: identity orders.
+    const auto initial = proper.layering.members();
+    const auto initial_crossings =
+        count_crossings(proper.graph, proper.layering, initial);
+    const auto result = order_vertices(proper);
+    EXPECT_LE(result.crossings, initial_crossings);
+    // Orders are permutations of each layer.
+    for (std::size_t layer = 0; layer < initial.size(); ++layer) {
+      EXPECT_EQ(result.orders[layer].size(), initial[layer].size());
+    }
+  }
+}
+
+TEST(Ordering, MedianModeAlsoReduces) {
+  const auto g = test::random_battery(1, 4242).front();
+  const auto proper =
+      layering::make_proper(g, baselines::longest_path_layering(g));
+  OrderingOptions opts;
+  opts.use_median = true;
+  const auto initial_crossings = count_crossings(
+      proper.graph, proper.layering, proper.layering.members());
+  EXPECT_LE(order_vertices(proper, opts).crossings, initial_crossings);
+}
+
+TEST(Ordering, TreeReachesZeroCrossings) {
+  support::Rng rng(99);
+  const auto g = gen::random_tree_dag(30, rng);
+  const auto proper =
+      layering::make_proper(g, baselines::longest_path_layering(g));
+  const auto result = order_vertices(proper);
+  EXPECT_EQ(result.crossings, 0);
+}
+
+TEST(Ordering, EmptyAndSingleLayerGraphs) {
+  graph::Digraph flat(4);
+  const auto proper = layering::make_proper(flat, layering::Layering(4));
+  EXPECT_EQ(order_vertices(proper).crossings, 0);
+}
+
+}  // namespace
+}  // namespace acolay::sugiyama

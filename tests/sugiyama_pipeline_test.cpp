@@ -1,0 +1,153 @@
+// Tests for coordinates, SVG rendering, and the end-to-end pipeline.
+#include "sugiyama/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/network_simplex.hpp"
+#include "test_util.hpp"
+
+namespace acolay::sugiyama {
+namespace {
+
+core::AcoParams fast_aco() {
+  core::AcoParams params;
+  params.num_ants = 4;
+  params.num_tours = 3;
+  params.seed = 11;
+  return params;
+}
+
+TEST(Coordinates, RespectsMinimumSeparation) {
+  for (const auto& g : test::random_battery(6)) {
+    const auto proper = layering::make_proper(
+        g, baselines::network_simplex_layering(g), 0.3);
+    const auto orders = order_vertices(proper).orders;
+    CoordinateOptions opts;
+    const auto coords = assign_coordinates(proper, orders, opts);
+    for (const auto& layer : orders) {
+      for (std::size_t i = 1; i < layer.size(); ++i) {
+        const auto a = layer[i - 1];
+        const auto b = layer[i];
+        EXPECT_LT(coords.x[static_cast<std::size_t>(a)],
+                  coords.x[static_cast<std::size_t>(b)])
+            << "order not monotone in x";
+        EXPECT_GE(coords.x[static_cast<std::size_t>(b)] -
+                      coords.x[static_cast<std::size_t>(a)],
+                  opts.vertex_sep * 0.99);
+      }
+    }
+  }
+}
+
+TEST(Coordinates, LayersShareYAndStackTopDown) {
+  const auto g = test::diamond();
+  const auto proper = layering::make_proper(
+      g, baselines::network_simplex_layering(g));
+  const auto orders = order_vertices(proper).orders;
+  const auto coords = assign_coordinates(proper, orders);
+  // Vertices 1 and 2 share a layer.
+  EXPECT_DOUBLE_EQ(coords.y[1], coords.y[2]);
+  // Source 3 is on top (smallest y), sink 0 at the bottom.
+  EXPECT_LT(coords.y[3], coords.y[1]);
+  EXPECT_LT(coords.y[1], coords.y[0]);
+}
+
+TEST(Svg, ContainsNodesEdgesAndLabels) {
+  graph::Digraph g(3);
+  g.add_edge(2, 1);
+  g.add_edge(1, 0);
+  g.set_label(1, "mid<node>");
+  const auto proper = layering::make_proper(
+      g, baselines::network_simplex_layering(g));
+  const auto orders = order_vertices(proper).orders;
+  const auto coords = assign_coordinates(proper, orders);
+  const auto svg = render_svg(proper, coords);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("mid&lt;node&gt;"), std::string::npos);  // escaped
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, LongEdgesBendThroughDummies) {
+  const auto g = test::triangle_with_long_edge();
+  const auto l = layering::Layering::from_vector({1, 2, 3});
+  const auto proper = layering::make_proper(g, l, 0.2);
+  const auto orders = order_vertices(proper).orders;
+  const auto coords = assign_coordinates(proper, orders);
+  const auto svg = render_svg(proper, coords);
+  // The edge 2 -> 0 passes through one dummy: its polyline has 3 points.
+  std::size_t pos = 0;
+  int three_point_polylines = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    const auto end = svg.find("\"/>", pos);
+    const auto points = svg.substr(pos, end - pos);
+    three_point_polylines +=
+        std::count(points.begin(), points.end(), ',') == 3 ? 1 : 0;
+    pos = end;
+  }
+  EXPECT_EQ(three_point_polylines, 1);
+}
+
+TEST(Pipeline, LaysOutDagWithDefaults) {
+  const auto g = test::small_dag();
+  LayoutOptions opts;
+  opts.aco = fast_aco();
+  const auto layout = compute_layout(g, opts);
+  EXPECT_TRUE(layering::is_valid_layering(layout.dag, layout.layering));
+  EXPECT_TRUE(layout.reversed_edges.empty());
+  EXPECT_EQ(layout.coords.x.size(), layout.proper.graph.num_vertices());
+  EXPECT_GE(layout.crossings, 0);
+}
+
+TEST(Pipeline, AcceptsCyclicInput) {
+  graph::Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  LayoutOptions opts;
+  opts.aco = fast_aco();
+  const auto layout = compute_layout(g, opts);
+  EXPECT_FALSE(layout.reversed_edges.empty());
+  EXPECT_TRUE(layering::is_valid_layering(layout.dag, layout.layering));
+}
+
+TEST(Pipeline, CustomLayeringStrategyIsUsed) {
+  const auto g = test::small_dag();
+  LayoutOptions opts;
+  opts.layering = [](const graph::Digraph& dag) {
+    return baselines::network_simplex_layering(dag);
+  };
+  const auto layout = compute_layout(g, opts);
+  EXPECT_EQ(layout.layering.raw(),
+            baselines::network_simplex_layering(g).raw());
+}
+
+TEST(Pipeline, InvalidStrategyIsRejected) {
+  const auto g = test::diamond();
+  LayoutOptions opts;
+  opts.layering = [](const graph::Digraph& dag) {
+    return layering::Layering(dag.num_vertices());  // everything on layer 1
+  };
+  EXPECT_THROW(compute_layout(g, opts), support::CheckError);
+}
+
+TEST(Pipeline, DrawSvgEndToEnd) {
+  LayoutOptions opts;
+  opts.aco = fast_aco();
+  const auto svg = draw_svg(test::small_dag(), opts);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Pipeline, EmptyGraph) {
+  graph::Digraph g;
+  LayoutOptions opts;
+  opts.aco = fast_aco();
+  const auto layout = compute_layout(g, opts);
+  EXPECT_EQ(layout.proper.graph.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace acolay::sugiyama

@@ -1,0 +1,166 @@
+// Unit tests for support/rng: determinism, distribution bounds, fork
+// independence, shuffle/permutation correctness, weighted sampling.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+
+namespace acolay::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckError);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  const auto perm = rng.permutation(100);
+  std::vector<std::int32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(31);
+  std::vector<int> data{1, 2, 2, 3, 3, 3, 4};
+  auto shuffled = data;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, data);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng root(99);
+  Rng a = root.fork(1, 2, 3);
+  Rng b = root.fork(1, 2, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkStreamsAreIndependentOfParentConsumption) {
+  Rng root1(99), root2(99);
+  // Consume from root1 before forking; forks must still agree.
+  for (int i = 0; i < 57; ++i) (void)root1();
+  Rng a = root1.fork(4, 5);
+  Rng b = root2.fork(4, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DistinctForksDiverge) {
+  Rng root(99);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(37);
+  const std::array<double, 4> weights{0.0, 1.0, 0.0, 3.0};
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = rng.weighted_index(weights);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Rng, WeightedIndexMatchesProportions) {
+  Rng rng(41);
+  const std::array<double, 3> weights{1.0, 2.0, 1.0};
+  std::array<int, 3> counts{};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(43);
+  const std::array<double, 2> weights{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), CheckError);
+}
+
+TEST(Rng, WeightedIndexRejectsNegative) {
+  Rng rng(43);
+  const std::array<double, 2> weights{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(weights), CheckError);
+}
+
+}  // namespace
+}  // namespace acolay::support

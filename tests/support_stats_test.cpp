@@ -1,0 +1,108 @@
+// Tests for support/stats.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace acolay::support {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_THROW((void)acc.min(), CheckError);
+}
+
+TEST(Accumulator, KnownSample) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesConcatenation) {
+  Rng rng(8);
+  Accumulator left, right, whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty left
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Accumulator, NumericallyStableOnLargeOffsets) {
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    acc.add(1e9 + static_cast<double>(i % 2));
+  }
+  EXPECT_NEAR(acc.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(acc.variance(), 0.25 + 0.25 / 999.0, 1e-3);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::array<double, 5> data{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.125), 1.5);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::array<double, 4> data{9.0, 1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 4.0);
+}
+
+TEST(Quantile, ContractViolations) {
+  const std::array<double, 1> one{1.0};
+  EXPECT_THROW(quantile({}, 0.5), CheckError);
+  EXPECT_THROW(quantile(one, 1.5), CheckError);
+}
+
+TEST(Summarize, FullBundle) {
+  const std::array<double, 6> data{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto s = summarize(data);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(3.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace acolay::support

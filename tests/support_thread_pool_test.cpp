@@ -1,0 +1,103 @@
+// Tests for the thread pool and parallel_for.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace acolay::support {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), CheckError);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for(pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneItems) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(pool, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // Deterministic per-index computation reduced by index: any thread count
+  // yields identical results.
+  const std::size_t count = 64;
+  const auto compute = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= 1000; ++k) {
+      acc += static_cast<double>((i * k) % 17) * 0.25;
+    }
+    return acc;
+  };
+  std::vector<double> serial(count), parallel_result(count);
+  parallel_for(1, count, [&](std::size_t i) { serial[i] = compute(i); });
+  parallel_for(4, count,
+               [&](std::size_t i) { parallel_result[i] = compute(i); });
+  EXPECT_EQ(serial, parallel_result);
+}
+
+TEST(ParallelFor, ExceptionFromBodyPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::logic_error("bad");
+                            }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace acolay::support
