@@ -13,6 +13,7 @@
 #include "core/colony.hpp"
 #include "support/csv.hpp"
 #include "support/stats.hpp"
+#include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -59,8 +60,9 @@ int main() {
   support::CsvWriter csv;
   csv.set_header({"alpha", "beta", "mean_objective", "mean_runtime_ms"});
   for (int a = 1; a <= 5; ++a) {
-    std::vector<std::string> obj_row{"a=" + std::to_string(a)};
-    std::vector<std::string> rt_row{"a=" + std::to_string(a)};
+    const std::string row_label = support::concat("a=", std::to_string(a));
+    std::vector<std::string> obj_row{row_label};
+    std::vector<std::string> rt_row{row_label};
     for (int b = 1; b <= 5; ++b) {
       const auto& cell = grid[static_cast<std::size_t>(a - 1)]
                              [static_cast<std::size_t>(b - 1)];

@@ -1,0 +1,20 @@
+# Warning configuration shared by every target in the tree.
+#
+# acolay_set_warnings(<target>) enables the project baseline
+# (-Wall -Wextra -Wpedantic, plus -Werror unless ACOLAY_WERROR=OFF).
+# The flags are PRIVATE: they apply when building the target itself,
+# never to downstream consumers of the acolay library.
+
+function(acolay_set_warnings target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra -Wpedantic)
+    if(ACOLAY_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(ACOLAY_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

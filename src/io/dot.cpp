@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/string_util.hpp"
 
 namespace acolay::io {
 
@@ -135,8 +136,9 @@ std::string to_dot(const graph::Digraph& g, const DotWriteOptions& opts) {
   for (graph::VertexId v = 0;
        static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
     os << "  n" << v << " [";
-    os << "label=" << quote(g.label(v).empty() ? ("n" + std::to_string(v))
-                                               : g.label(v));
+    os << "label=" << quote(g.label(v).empty()
+                                ? support::concat("n", std::to_string(v))
+                                : g.label(v));
     if (opts.include_widths) os << ", width=" << g.width(v);
     os << "];\n";
   }

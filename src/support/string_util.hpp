@@ -19,6 +19,17 @@ std::vector<std::string> split_whitespace(std::string_view text);
 /// Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Concatenates two pieces. Use instead of `"lit" + std::to_string(x)`
+/// chains: the rvalue operator+ overloads trip GCC 12's -Wrestrict false
+/// positive (PR105329) under -O3 -Werror.
+inline std::string concat(std::string_view a, std::string_view b) {
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out += a;
+  out += b;
+  return out;
+}
+
 bool starts_with(std::string_view text, std::string_view prefix);
 bool ends_with(std::string_view text, std::string_view suffix);
 

@@ -13,9 +13,8 @@
 namespace acolay::baselines {
 namespace {
 
-/// Real-vertex count of the fullest layer, evaluated on the reduced graph
-/// when the algorithm ran on it.
-int max_layer_occupancy(const graph::Digraph& g, const layering::Layering& l) {
+/// Vertex count of the fullest layer of `l`.
+int max_layer_occupancy(const layering::Layering& l) {
   const auto members = l.members();
   std::size_t occupancy = 0;
   for (const auto& layer : members) {
@@ -38,7 +37,7 @@ TEST(CoffmanGraham, RespectsWidthBound) {
       CoffmanGrahamParams params;
       params.width_bound = bound;
       const auto l = coffman_graham_layering(g, params);
-      EXPECT_LE(max_layer_occupancy(g, l), bound)
+      EXPECT_LE(max_layer_occupancy(l), bound)
           << "bound " << bound << " on n=" << g.num_vertices();
       EXPECT_TRUE(layering::is_valid_layering(g, l));
     }
@@ -51,7 +50,7 @@ TEST(CoffmanGraham, WidthOneIsATotalOrder) {
   params.width_bound = 1;
   const auto l = coffman_graham_layering(g, params);
   EXPECT_EQ(layering::layering_height(l), 4);
-  EXPECT_EQ(max_layer_occupancy(g, l), 1);
+  EXPECT_EQ(max_layer_occupancy(l), 1);
 }
 
 TEST(CoffmanGraham, GuaranteeFactorOnBattery) {
@@ -100,7 +99,7 @@ TEST(CoffmanGraham, EmptyGraph) {
 TEST(CoffmanGraham, DefaultBoundIsSqrtN) {
   const auto g = gen::complete_bipartite_dag(5, 4);  // n = 9 -> bound 3
   const auto l = coffman_graham_layering(g);
-  EXPECT_LE(max_layer_occupancy(g, l), 3);
+  EXPECT_LE(max_layer_occupancy(l), 3);
 }
 
 }  // namespace

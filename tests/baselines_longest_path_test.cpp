@@ -26,7 +26,9 @@ TEST(LongestPath, SinksOnLayerOne) {
     const auto l = longest_path_layering(g);
     for (graph::VertexId v = 0;
          static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
-      if (g.out_degree(v) == 0) EXPECT_EQ(l.layer(v), 1);
+      if (g.out_degree(v) == 0) {
+        EXPECT_EQ(l.layer(v), 1);
+      }
     }
   }
 }

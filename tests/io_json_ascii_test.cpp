@@ -5,6 +5,7 @@
 #include "io/json.hpp"
 #include "layering/metrics.hpp"
 #include "sugiyama/ascii.hpp"
+#include "support/string_util.hpp"
 #include "test_util.hpp"
 
 namespace acolay {
@@ -98,7 +99,8 @@ TEST(Ascii, EveryVertexAppearsExactlyOnce) {
     const auto text = sugiyama::render_ascii(g, l);
     for (graph::VertexId v = 0;
          static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
-      const std::string token = "[" + std::to_string(v) + "]";
+      const std::string token =
+          support::concat(support::concat("[", std::to_string(v)), "]");
       const auto first = text.find(token);
       ASSERT_NE(first, std::string::npos) << token;
       EXPECT_EQ(text.find(token, first + 1), std::string::npos)

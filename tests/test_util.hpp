@@ -40,7 +40,7 @@ inline graph::Digraph two_chains() {
 /// The example DAG used across handwritten expectations:
 ///
 ///        5   6          layer 4 (sources)
-///       / \ / \
+///       / \ / \         (6 also reaches sink 1 directly)
 ///      3   4   |        layer 3
 ///       \ /    |
 ///        2     |        layer 2
