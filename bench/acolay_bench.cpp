@@ -1,0 +1,16 @@
+// acolay_bench — the unified benchmark runner (see src/harness/
+// bench_runner.hpp). All experiment logic lives in the registered suites;
+// this main only wires the registry into the CLI.
+//
+//   $ acolay_bench --list
+//   $ acolay_bench --suite fig6 --corpus small --json out.json
+//   $ acolay_bench --corpus ci-small --json ci.json   # the CI smoke run
+#include <iostream>
+
+#include "suites/suites.hpp"
+
+int main(int argc, char** argv) {
+  return acolay::harness::bench_main(argc, argv,
+                                     acolay::bench::all_suites(), std::cout,
+                                     std::cerr);
+}

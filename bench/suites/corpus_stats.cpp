@@ -1,0 +1,90 @@
+// Corpus audit as an acolay_bench suite: measures the structural
+// properties of the synthetic AT&T-substitute corpus that the substitution
+// argument in DESIGN.md rests on — sparsity (|E|/|V| ≈ 1.0–1.6), weak
+// connectivity, shallow depth (LPL height well below n), leaf-heavy shape
+// (width-dominated LPL layerings), per vertex-count group.
+#include <string>
+#include <vector>
+
+#include "baselines/longest_path.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/properties.hpp"
+#include "layering/metrics.hpp"
+#include "suites/suites.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace acolay::bench {
+
+harness::Suite corpus_stats_suite() {
+  harness::Suite suite;
+  suite.name = "corpus-stats";
+  suite.description = "AT&T-substitute corpus structural audit";
+  suite.run = [](const harness::SuiteContext& ctx,
+                 harness::SuiteOutput& output) {
+    const auto& corpus = ctx.corpus();
+    struct Row {
+      support::Accumulator density;
+      support::Accumulator sinks;
+      support::Accumulator sources;
+      support::Accumulator lpl_height;
+      support::Accumulator lpl_width;
+      support::Accumulator lpl_dvc;
+    };
+    std::vector<Row> rows(corpus.num_groups());
+    for (std::size_t i = 0; i < corpus.graphs.size(); ++i) {
+      const auto& g = corpus.graphs[i];
+      ACOLAY_CHECK(graph::is_dag(g));
+      ACOLAY_CHECK(graph::is_weakly_connected(g));
+      auto& row = rows[static_cast<std::size_t>(corpus.group_of[i])];
+      row.density.add(graph::edges_per_vertex(g));
+      row.sinks.add(static_cast<double>(graph::sinks(g).size()) /
+                    static_cast<double>(g.num_vertices()));
+      row.sources.add(static_cast<double>(graph::sources(g).size()) /
+                      static_cast<double>(g.num_vertices()));
+      const auto lpl = baselines::longest_path_layering(g);
+      const auto m = layering::compute_metrics(g, lpl);
+      row.lpl_height.add(static_cast<double>(m.height));
+      row.lpl_width.add(m.width_incl_dummies);
+      row.lpl_dvc.add(static_cast<double>(m.dummy_count));
+    }
+    output.graphs = corpus.graphs.size();
+
+    struct Metric {
+      const char* name;
+      support::Accumulator Row::* field;
+    };
+    const std::vector<Metric> metrics{
+        {"density", &Row::density},
+        {"sink_fraction", &Row::sinks},
+        {"source_fraction", &Row::sources},
+        {"lpl_height", &Row::lpl_height},
+        {"lpl_width", &Row::lpl_width},
+        {"lpl_dvc", &Row::lpl_dvc},
+    };
+    for (const auto& metric : metrics) {
+      auto& series = output.add_series(metric.name, "vertices");
+      harness::SeriesColumn column{"value", {}, {}};
+      for (std::size_t group = 0; group < corpus.num_groups(); ++group) {
+        series.x.push_back(std::to_string(corpus.group_vertices[group]));
+        const auto& acc = rows[group].*(metric.field);
+        column.mean.push_back(acc.mean());
+        column.stddev.push_back(acc.stddev());
+      }
+      series.columns.push_back(std::move(column));
+    }
+
+    support::Accumulator density_all, ratio_all;
+    for (const auto& row : rows) {
+      density_all.add(row.density.mean());
+      ratio_all.add(row.lpl_width.mean() / row.lpl_height.mean());
+    }
+    output.add_claim("sparsity in the AT&T band (|E|/|V| ~ 1.3)",
+                     density_all.mean(), "~=", 1.3, 0.2);
+    output.add_claim("width-dominated LPL regime (W/H > 1.5 overall)",
+                     ratio_all.mean(), ">", 1.5);
+  };
+  return suite;
+}
+
+}  // namespace acolay::bench

@@ -1,0 +1,212 @@
+// The paper's Figures 4–9 as acolay_bench suites. Each suite runs the
+// corpus experiment for one figure's algorithm trio, emits one series per
+// figure panel, and records the paper's §VII qualitative claims as shape
+// checks against the measured overall means.
+#include <functional>
+
+#include "harness/experiment.hpp"
+#include "suites/suites.hpp"
+
+namespace acolay::bench {
+namespace {
+
+using harness::Algorithm;
+using harness::Criterion;
+using harness::ExperimentResult;
+using harness::SuiteContext;
+using harness::SuiteOutput;
+
+const std::vector<Algorithm> kLplFamily{Algorithm::kLongestPath,
+                                        Algorithm::kLongestPathPromoted,
+                                        Algorithm::kAntColony};
+const std::vector<Algorithm> kMinWidthFamily{Algorithm::kMinWidth,
+                                             Algorithm::kMinWidthPromoted,
+                                             Algorithm::kAntColony};
+
+struct Panel {
+  const char* series_name;
+  Criterion criterion;
+};
+
+struct FigureDef {
+  const char* name;
+  const char* description;
+  const std::vector<Algorithm>* algorithms;
+  std::vector<Panel> panels;
+  std::function<void(const ExperimentResult&, SuiteOutput&)> claims;
+};
+
+harness::Suite make_figure_suite(FigureDef def) {
+  harness::Suite suite;
+  suite.name = def.name;
+  suite.description = def.description;
+  suite.run = [def = std::move(def)](const SuiteContext& ctx,
+                                     SuiteOutput& output) {
+    // Cached: fig4/6/8 share the LPL-family experiment, fig5/7/9 the
+    // MinWidth-family one — only the first suite of a family computes it.
+    const auto& result = ctx.experiment(*def.algorithms);
+    output.graphs = ctx.corpus().graphs.size();
+    for (const auto& panel : def.panels) {
+      output.series.push_back(harness::experiment_series(
+          panel.series_name, result, panel.criterion));
+    }
+    def.claims(result, output);
+  };
+  return suite;
+}
+
+void fig4_claims(const ExperimentResult& result, SuiteOutput& output) {
+  const double lpl = overall_mean(result, Algorithm::kLongestPath,
+                                  Criterion::kWidthInclDummies);
+  const double lpl_pl = overall_mean(result, Algorithm::kLongestPathPromoted,
+                                     Criterion::kWidthInclDummies);
+  const double aco = overall_mean(result, Algorithm::kAntColony,
+                                  Criterion::kWidthInclDummies);
+  output.add_claim("ACO width (incl) below LPL", aco, "<", lpl);
+  output.add_claim("ACO width (incl) ~ LPL+PL", aco, "~=", lpl_pl,
+                   0.35 * lpl_pl);
+  const double aco_excl = overall_mean(result, Algorithm::kAntColony,
+                                       Criterion::kWidthExclDummies);
+  output.add_claim("ACO width excl dummies below incl", aco_excl, "<=", aco);
+}
+
+void fig5_claims(const ExperimentResult& result, SuiteOutput& output) {
+  // Paper §VII: "the winner is MinWidth combined by PL followed closely by
+  // the Ant Colony layering algorithm, which in turn shows better results
+  // than the MinWidth heuristic when run on its own" — the ordering is the
+  // claim.
+  const double mw = overall_mean(result, Algorithm::kMinWidth,
+                                 Criterion::kWidthInclDummies);
+  const double mw_pl = overall_mean(result, Algorithm::kMinWidthPromoted,
+                                    Criterion::kWidthInclDummies);
+  const double aco = overall_mean(result, Algorithm::kAntColony,
+                                  Criterion::kWidthInclDummies);
+  output.add_claim("MinWidth+PL wins (incl dummies)", mw_pl, "<=", aco);
+  output.add_claim("ACO second, ahead of plain MinWidth", aco, "<=", mw);
+  const double mw_excl = overall_mean(result, Algorithm::kMinWidth,
+                                      Criterion::kWidthExclDummies);
+  const double aco_excl = overall_mean(result, Algorithm::kAntColony,
+                                       Criterion::kWidthExclDummies);
+  output.add_claim("MinWidth wins excluding dummies", mw_excl, "<=",
+                   aco_excl);
+}
+
+void fig6_claims(const ExperimentResult& result, SuiteOutput& output) {
+  const double lpl_h =
+      overall_mean(result, Algorithm::kLongestPath, Criterion::kHeight);
+  const double aco_h =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kHeight);
+  output.add_claim("LPL height is minimal", lpl_h, "<=", aco_h);
+  output.add_claim("ACO height within ~10-40% above LPL", aco_h, "<=",
+                   1.45 * lpl_h);
+  const double lpl_d =
+      overall_mean(result, Algorithm::kLongestPath, Criterion::kDummyCount);
+  const double lpl_pl_d = overall_mean(
+      result, Algorithm::kLongestPathPromoted, Criterion::kDummyCount);
+  const double aco_d =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kDummyCount);
+  output.add_claim("ACO DVC within 50% of LPL DVC", aco_d, "~=", lpl_d,
+                   0.5 * lpl_d);
+  output.add_claim("LPL+PL DVC below ACO DVC", lpl_pl_d, "<=", aco_d);
+}
+
+void fig7_claims(const ExperimentResult& result, SuiteOutput& output) {
+  // Heights compared on the n >= 55 groups where the curves diverge.
+  const double mw_h =
+      overall_mean(result, Algorithm::kMinWidth, Criterion::kHeight, 55);
+  const double aco_h =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kHeight, 55);
+  output.add_claim("MinWidth taller than ACO (width/height trade)", mw_h,
+                   ">=", aco_h);
+  const double mw_pl_d = overall_mean(result, Algorithm::kMinWidthPromoted,
+                                      Criterion::kDummyCount);
+  const double mw_d =
+      overall_mean(result, Algorithm::kMinWidth, Criterion::kDummyCount);
+  output.add_claim("PL reduces MinWidth dummies", mw_pl_d, "<=", mw_d);
+}
+
+void fig8_claims(const ExperimentResult& result, SuiteOutput& output) {
+  const double lpl_ed =
+      overall_mean(result, Algorithm::kLongestPath, Criterion::kEdgeDensity);
+  const double aco_ed =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kEdgeDensity);
+  output.add_claim("ACO edge density better than LPL", aco_ed, "<=", lpl_ed);
+  const double lpl_rt =
+      overall_mean(result, Algorithm::kLongestPath, Criterion::kRuntimeMs);
+  const double lpl_pl_rt = overall_mean(
+      result, Algorithm::kLongestPathPromoted, Criterion::kRuntimeMs);
+  const double aco_rt =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kRuntimeMs);
+  output.add_claim("LPL faster than LPL+PL", lpl_rt, "<=", lpl_pl_rt, 0.0,
+                   harness::SeriesKind::kTiming);
+  output.add_claim("ACO slowest (metaheuristic cost)", aco_rt, ">=",
+                   lpl_pl_rt, 0.0, harness::SeriesKind::kTiming);
+}
+
+void fig9_claims(const ExperimentResult& result, SuiteOutput& output) {
+  const double mw_ed =
+      overall_mean(result, Algorithm::kMinWidth, Criterion::kEdgeDensity);
+  const double aco_ed =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kEdgeDensity);
+  output.add_claim("ACO edge density near MinWidth band", aco_ed, "~=",
+                   mw_ed, 0.5 * mw_ed);
+  const double mw_rt =
+      overall_mean(result, Algorithm::kMinWidth, Criterion::kRuntimeMs);
+  const double aco_rt =
+      overall_mean(result, Algorithm::kAntColony, Criterion::kRuntimeMs);
+  output.add_claim("MinWidth faster than ACO", mw_rt, "<=", aco_rt, 0.0,
+                   harness::SeriesKind::kTiming);
+}
+
+}  // namespace
+
+std::vector<harness::Suite> figure_suites() {
+  std::vector<FigureDef> defs;
+  defs.push_back({"fig4", "width vs {LPL, LPL+PL, AntColony} (Figure 4)",
+                  &kLplFamily,
+                  {{"width_incl_dummies", Criterion::kWidthInclDummies},
+                   {"width_excl_dummies", Criterion::kWidthExclDummies}},
+                  fig4_claims});
+  defs.push_back(
+      {"fig5", "width vs {MinWidth, MinWidth+PL, AntColony} (Figure 5)",
+       &kMinWidthFamily,
+       {{"width_incl_dummies", Criterion::kWidthInclDummies},
+        {"width_excl_dummies", Criterion::kWidthExclDummies}},
+       fig5_claims});
+  defs.push_back(
+      {"fig6", "height & DVC vs {LPL, LPL+PL, AntColony} (Figure 6)",
+       &kLplFamily,
+       {{"height", Criterion::kHeight},
+        {"dummy_count", Criterion::kDummyCount}},
+       fig6_claims});
+  defs.push_back(
+      {"fig7",
+       "height & DVC vs {MinWidth, MinWidth+PL, AntColony} (Figure 7)",
+       &kMinWidthFamily,
+       {{"height", Criterion::kHeight},
+        {"dummy_count", Criterion::kDummyCount}},
+       fig7_claims});
+  defs.push_back(
+      {"fig8",
+       "edge density & runtime vs {LPL, LPL+PL, AntColony} (Figure 8)",
+       &kLplFamily,
+       {{"edge_density", Criterion::kEdgeDensity},
+        {"edge_density_norm", Criterion::kEdgeDensityNorm},
+        {"runtime_ms", Criterion::kRuntimeMs}},
+       fig8_claims});
+  defs.push_back(
+      {"fig9",
+       "edge density & runtime vs {MinWidth, MinWidth+PL, AntColony} "
+       "(Figure 9)",
+       &kMinWidthFamily,
+       {{"edge_density", Criterion::kEdgeDensity},
+        {"edge_density_norm", Criterion::kEdgeDensityNorm},
+        {"runtime_ms", Criterion::kRuntimeMs}},
+       fig9_claims});
+
+  std::vector<harness::Suite> suites;
+  for (auto& def : defs) suites.push_back(make_figure_suite(std::move(def)));
+  return suites;
+}
+
+}  // namespace acolay::bench

@@ -1,0 +1,34 @@
+// Suite registrations for acolay_bench — each function returns the Suite
+// definitions that replaced one family of the old standalone bench
+// binaries (see bench/README in the top-level README "Benchmarks"
+// section). The registry order is the order `--list` prints and the order
+// a full run executes.
+#pragma once
+
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+
+namespace acolay::bench {
+
+/// fig4..fig9 — the paper's Figures 4–9 (width / height+DVC / edge
+/// density+runtime, each vs the LPL and MinWidth baseline families).
+std::vector<harness::Suite> figure_suites();
+
+/// ablation-stretch / ablation-selection / ablation-hybrid — design-choice
+/// ablations (paper §V-A, §IV-D, §IX).
+std::vector<harness::Suite> ablation_suites();
+
+/// param-alpha-beta / param-dummy-width — the paper §VIII tuning sweeps.
+std::vector<harness::Suite> param_suites();
+
+/// corpus-stats — structural audit of the AT&T-substitute corpus.
+harness::Suite corpus_stats_suite();
+
+/// micro — per-component timings of the acolay building blocks.
+harness::Suite micro_suite();
+
+/// Every registered suite, in canonical order.
+std::vector<harness::Suite> all_suites();
+
+}  // namespace acolay::bench

@@ -3,6 +3,9 @@
 // Prints a tour-by-tour trace for several (alpha, beta) pairs and the
 // width/height trade-off each reaches.
 //
+// For the corpus-level version of this sweep (the paper's full 5x5 grid
+// with JSON output), run `acolay_bench --suite param-alpha-beta`.
+//
 //   $ ./parameter_study [n]
 #include <iostream>
 #include <vector>

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Compare two acolay_bench JSON reports and gate on regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [options]
+
+The acolay corpus and ACO search are deterministic (fixed seeds, results
+independent of thread count), so on identical code every *quality* series
+is bit-identical run to run: any drift beyond --quality-tol means the
+change altered algorithm behaviour — intentionally (regenerate the
+baseline) or not (a bug). Timing series and suite wall times are hardware-
+dependent; they are reported always but only gated when --max-time-ratio
+is given (CI shares no hardware baseline, so its smoke job leaves timing
+ungated).
+
+Exit status: 0 clean, 1 regression (quality drift beyond tolerance, claim
+pass->fail flip, suite missing from the candidate, or time gate exceeded),
+2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_diff: cannot read {path}: {error}")
+    version = report.get("schema_version")
+    if version != SUPPORTED_SCHEMA:
+        sys.exit(
+            f"bench_diff: {path} has schema_version {version}, "
+            f"this script supports {SUPPORTED_SCHEMA}"
+        )
+    return report
+
+
+def rel_delta(old: float, new: float) -> float:
+    if old == new:
+        return 0.0
+    scale = max(abs(old), abs(new), 1e-12)
+    return abs(new - old) / scale
+
+
+def series_by_name(suite: dict) -> dict:
+    return {series["name"]: series for series in suite.get("series", [])}
+
+
+def columns_by_name(series: dict) -> dict:
+    return {column["name"]: column for column in series.get("columns", [])}
+
+
+def compare_quality(base_suite: dict, cand_suite: dict, tol: float,
+                    problems: list) -> float:
+    """Returns the max relative delta over the suite's quality series."""
+    worst = 0.0
+    cand_series = series_by_name(cand_suite)
+    for name, base in series_by_name(base_suite).items():
+        if base.get("kind") != "quality":
+            continue
+        cand = cand_series.get(name)
+        if cand is None:
+            problems.append(
+                f"{base_suite['name']}: quality series '{name}' missing "
+                "from candidate"
+            )
+            continue
+        cand_columns = columns_by_name(cand)
+        for col_name, base_col in columns_by_name(base).items():
+            cand_col = cand_columns.get(col_name)
+            if cand_col is None:
+                problems.append(
+                    f"{base_suite['name']}/{name}: column '{col_name}' "
+                    "missing from candidate"
+                )
+                continue
+            if len(base_col["mean"]) != len(cand_col["mean"]):
+                problems.append(
+                    f"{base_suite['name']}/{name}/{col_name}: row count "
+                    f"{len(base_col['mean'])} -> {len(cand_col['mean'])}"
+                )
+                continue
+            for row, (old, new) in enumerate(
+                zip(base_col["mean"], cand_col["mean"])
+            ):
+                delta = rel_delta(old, new)
+                worst = max(worst, delta)
+                if delta > tol:
+                    x = base.get("x", [])
+                    label = x[row] if row < len(x) else f"row {row}"
+                    problems.append(
+                        f"{base_suite['name']}/{name}/{col_name}"
+                        f"[{label}]: {old:.6g} -> {new:.6g} "
+                        f"({delta:.2%} > {tol:.2%})"
+                    )
+    return worst
+
+
+def compare_claims(base_suite: dict, cand_suite: dict,
+                   problems: list) -> None:
+    cand_claims = {
+        claim["description"]: claim for claim in cand_suite.get("claims", [])
+    }
+    for claim in base_suite.get("claims", []):
+        if claim.get("kind") == "timing":
+            # Runtime-ordering claims (e.g. "LPL faster than LPL+PL") can
+            # flip on scheduler noise alone; recorded, never gated.
+            continue
+        cand = cand_claims.get(claim["description"])
+        if cand is None:
+            problems.append(
+                f"{base_suite['name']}: claim dropped: "
+                f"\"{claim['description']}\""
+            )
+        elif claim["pass"] and not cand["pass"]:
+            problems.append(
+                f"{base_suite['name']}: claim flipped PASS -> DIVERGES: "
+                f"\"{claim['description']}\" "
+                f"({cand['lhs']:.4g} {cand['relation']} {cand['rhs']:.4g})"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="reference report (e.g. checked-in)")
+    parser.add_argument("candidate", help="freshly produced report")
+    parser.add_argument(
+        "--quality-tol",
+        type=float,
+        default=0.005,
+        help="max relative drift allowed on quality series means "
+        "(default: 0.005)",
+    )
+    parser.add_argument(
+        "--max-time-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="fail if a suite's wall time exceeds R x baseline "
+        "(default: timing not gated)",
+    )
+    parser.add_argument(
+        "--ignore-config",
+        action="store_true",
+        help="compare even when corpus/config differ (deltas will be "
+        "meaningless unless you know what you are doing)",
+    )
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+
+    base_config = base.get("config", {})
+    cand_config = cand.get("config", {})
+    comparable_keys = ("corpus", "per_group", "corpus_seed", "repetitions",
+                       "aco")
+    mismatched = [
+        key
+        for key in comparable_keys
+        if base_config.get(key) != cand_config.get(key)
+    ]
+    if mismatched and not args.ignore_config:
+        sys.exit(
+            "bench_diff: reports were produced under different configs "
+            f"({', '.join(mismatched)} differ); rerun with matching "
+            "acolay_bench flags or pass --ignore-config"
+        )
+
+    print(
+        f"baseline : {base.get('git_sha')} {base.get('build_type')} "
+        f"{base.get('compiler')} ({base.get('timestamp_utc')})"
+    )
+    print(
+        f"candidate: {cand.get('git_sha')} {cand.get('build_type')} "
+        f"{cand.get('compiler')} ({cand.get('timestamp_utc')})"
+    )
+
+    problems: list = []
+    cand_suites = {suite["name"]: suite for suite in cand.get("suites", [])}
+    base_suites = {suite["name"]: suite for suite in base.get("suites", [])}
+
+    for name in cand_suites:
+        if name not in base_suites:
+            print(f"  note: suite '{name}' is new (no baseline)")
+
+    header = f"{'suite':<20} {'quality max-delta':>18} {'wall s':>16} {'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, base_suite in base_suites.items():
+        cand_suite = cand_suites.get(name)
+        if cand_suite is None:
+            problems.append(f"suite '{name}' missing from candidate")
+            print(f"{name:<20} {'MISSING':>18}")
+            continue
+        worst = compare_quality(base_suite, cand_suite, args.quality_tol,
+                                problems)
+        compare_claims(base_suite, cand_suite, problems)
+        base_wall = base_suite.get("wall_seconds", 0.0)
+        cand_wall = cand_suite.get("wall_seconds", 0.0)
+        ratio = cand_wall / base_wall if base_wall > 0 else float("inf")
+        print(
+            f"{name:<20} {worst:>17.2%} "
+            f"{base_wall:>7.2f}->{cand_wall:<7.2f} {ratio:>6.2f}x"
+        )
+        if args.max_time_ratio is not None and ratio > args.max_time_ratio:
+            problems.append(
+                f"suite '{name}' wall time {cand_wall:.2f}s exceeds "
+                f"{args.max_time_ratio}x baseline ({base_wall:.2f}s)"
+            )
+
+    if problems:
+        print(f"\n{len(problems)} regression(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks that the lines changed since a base revision satisfy .clang-format
+# (via git clang-format, so untouched legacy code is never flagged).
+#
+#   scripts/check_format.sh [BASE_REV]
+#
+# BASE_REV defaults to origin/main's merge-base with HEAD. Exits 0 when the
+# diff is clean, 1 with the suggested re-formatting otherwise. Run
+# `git clang-format BASE_REV` (no --diff) to apply the suggestions.
+set -euo pipefail
+
+base_rev="${1:-$(git merge-base origin/main HEAD 2>/dev/null || echo HEAD~1)}"
+
+if ! command -v git-clang-format > /dev/null 2>&1 &&
+   ! git clang-format -h > /dev/null 2>&1; then
+  echo "check_format: git clang-format not available" >&2
+  exit 2
+fi
+
+echo "checking formatting of changes since ${base_rev}"
+output="$(git clang-format --diff "${base_rev}" -- '*.cpp' '*.hpp' || true)"
+
+if [ -z "${output}" ] ||
+   printf '%s' "${output}" | grep -q "no modified files to format" ||
+   printf '%s' "${output}" | grep -q "did not modify any files"; then
+  echo "formatting clean"
+  exit 0
+fi
+
+printf '%s\n' "${output}"
+echo ""
+echo "formatting violations — apply with: git clang-format ${base_rev}" >&2
+exit 1

@@ -1,0 +1,188 @@
+#include "harness/bench_schema.hpp"
+
+#include <cmath>
+
+#include "io/json.hpp"
+#include "support/check.hpp"
+
+namespace acolay::harness {
+
+bool claim_holds(double lhs, const std::string& relation, double rhs,
+                 double tolerance) {
+  if (relation == "<") return lhs < rhs + tolerance;
+  if (relation == "<=") return lhs <= rhs + tolerance;
+  if (relation == ">") return lhs > rhs - tolerance;
+  if (relation == ">=") return lhs >= rhs - tolerance;
+  if (relation == "~=") return std::abs(lhs - rhs) <= tolerance;
+  ACOLAY_CHECK_MSG(false, "unknown claim relation '" << relation << "'");
+  return false;
+}
+
+Series& SuiteOutput::add_series(std::string series_name, std::string x_label,
+                                SeriesKind kind) {
+  Series series;
+  series.name = std::move(series_name);
+  series.x_label = std::move(x_label);
+  series.kind = kind;
+  return this->series.emplace_back(std::move(series));
+}
+
+bool SuiteOutput::add_claim(std::string description, double lhs,
+                            std::string relation, double rhs,
+                            double tolerance, SeriesKind kind) {
+  Claim claim;
+  claim.description = std::move(description);
+  claim.lhs = lhs;
+  claim.relation = std::move(relation);
+  claim.rhs = rhs;
+  claim.tolerance = tolerance;
+  claim.kind = kind;
+  claim.pass = claim_holds(lhs, claim.relation, rhs, tolerance);
+  claims.push_back(claim);
+  return claim.pass;
+}
+
+namespace {
+
+void write_series(io::JsonWriter& json, const Series& series) {
+  json.begin_object();
+  json.kv("name", series.name);
+  json.kv("x_label", series.x_label);
+  json.kv("kind",
+          series.kind == SeriesKind::kTiming ? "timing" : "quality");
+  json.key("x").array(series.x);
+  json.key("columns").begin_array();
+  for (const auto& column : series.columns) {
+    ACOLAY_CHECK_MSG(column.mean.size() == series.x.size() &&
+                         column.stddev.size() == series.x.size(),
+                     "series '" << series.name << "' column '" << column.name
+                                << "' arity mismatch");
+    json.begin_object();
+    json.kv("name", column.name);
+    json.key("mean").array(column.mean);
+    json.key("stddev").array(column.stddev);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_claim(io::JsonWriter& json, const Claim& claim) {
+  json.begin_object();
+  json.kv("description", claim.description);
+  json.kv("lhs", claim.lhs);
+  json.kv("relation", claim.relation);
+  json.kv("rhs", claim.rhs);
+  json.kv("tolerance", claim.tolerance);
+  json.kv("kind", claim.kind == SeriesKind::kTiming ? "timing" : "quality");
+  json.kv("pass", claim.pass);
+  json.end_object();
+}
+
+void write_suite(io::JsonWriter& json, const SuiteOutput& suite) {
+  json.begin_object();
+  json.kv("name", suite.name);
+  json.kv("description", suite.description);
+  json.kv("graphs", suite.graphs);
+  json.kv("repetitions", suite.repetitions);
+  json.kv("wall_seconds", suite.wall_seconds);
+  json.kv("cpu_seconds", suite.cpu_seconds);
+  json.key("series").begin_array();
+  for (const auto& series : suite.series) write_series(json, series);
+  json.end_array();
+  json.key("claims").begin_array();
+  for (const auto& claim : suite.claims) write_claim(json, claim);
+  json.end_array();
+  json.end_object();
+}
+
+void write_aco_params(io::JsonWriter& json, const core::AcoParams& aco) {
+  json.begin_object();
+  json.kv("num_ants", aco.num_ants);
+  json.kv("num_tours", aco.num_tours);
+  json.kv("alpha", aco.alpha);
+  json.kv("beta", aco.beta);
+  json.kv("rho", aco.rho);
+  json.kv("tau0", aco.tau0);
+  json.kv("deposit", aco.deposit);
+  json.kv("dummy_width", aco.dummy_width);
+  json.kv("eta_epsilon", aco.eta_epsilon);
+  json.kv("seed", aco.seed);
+  json.end_object();
+}
+
+void write_trace(io::JsonWriter& json, const TraceSummary& trace) {
+  json.begin_object();
+  json.kv("graph_vertices", trace.graph_vertices);
+  json.kv("graph_edges", trace.graph_edges);
+  json.kv("initial_objective", trace.initial_objective);
+  json.key("tours").begin_array();
+  for (const auto& tour : trace.tours) {
+    json.begin_object();
+    json.kv("tour", tour.tour);
+    json.kv("best_objective", tour.best_objective);
+    json.kv("mean_objective", tour.mean_objective);
+    json.kv("best_width", tour.best_width);
+    json.kv("best_height", tour.best_height);
+    json.kv("best_dummies", tour.best_dummies);
+    json.kv("total_moves", tour.total_moves);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const BenchReport& report) {
+  io::JsonWriter json;
+  json.begin_object();
+  json.kv("schema_version", report.schema_version);
+  json.kv("tool", report.tool);
+  json.kv("git_sha", report.git_sha);
+  json.kv("build_type", report.build_type);
+  json.kv("compiler", report.compiler);
+  json.kv("timestamp_utc", report.timestamp_utc);
+  json.key("config").begin_object();
+  json.kv("corpus", report.corpus);
+  json.kv("per_group", report.per_group);
+  json.kv("corpus_seed", report.corpus_seed);
+  json.kv("num_threads", report.num_threads);
+  json.kv("repetitions", report.repetitions);
+  json.kv("warmup", report.warmup);
+  json.key("aco");
+  write_aco_params(json, report.aco);
+  json.end_object();
+  json.key("suites").begin_array();
+  for (const auto& suite : report.suites) write_suite(json, suite);
+  json.end_array();
+  json.key("aco_trace");
+  write_trace(json, report.trace);
+  json.end_object();
+  return json.str();
+}
+
+Series experiment_series(std::string name, const ExperimentResult& result,
+                         Criterion criterion) {
+  Series series;
+  series.name = std::move(name);
+  series.x_label = "vertices";
+  series.kind = criterion == Criterion::kRuntimeMs ? SeriesKind::kTiming
+                                                   : SeriesKind::kQuality;
+  for (const int vertices : result.group_vertices) {
+    series.x.push_back(std::to_string(vertices));
+  }
+  for (std::size_t a = 0; a < result.algorithms.size(); ++a) {
+    SeriesColumn column;
+    column.name = algorithm_label(result.algorithms[a]);
+    for (std::size_t group = 0; group < result.cells.size(); ++group) {
+      const auto& cell = result.cells[group][a];
+      column.mean.push_back(criterion_mean(cell, criterion));
+      column.stddev.push_back(criterion_stddev(cell, criterion));
+    }
+    series.columns.push_back(std::move(column));
+  }
+  return series;
+}
+
+}  // namespace acolay::harness

@@ -1,0 +1,123 @@
+// Versioned result schema of the acolay_bench runner.
+//
+// Every run emits one BenchReport: provenance (git SHA, build type,
+// compiler), the effective configuration, and one SuiteOutput per executed
+// suite. A suite's payload is a list of Series (named numeric columns over
+// a shared x-axis — the JSON rendition of one figure panel or sweep table)
+// plus the suite's shape-check Claims, so scripts/bench_diff.py can compare
+// two reports metric by metric without knowing any suite's internals.
+//
+// Schema evolution contract: kBenchSchemaVersion bumps on any breaking
+// change to the JSON layout; consumers must check it before parsing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "harness/figures.hpp"
+
+namespace acolay::harness {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// What a series measures — the comparator gates on quality series only
+/// (timing is hardware-dependent and compared under a separate, looser
+/// threshold).
+enum class SeriesKind { kQuality, kTiming };
+
+struct SeriesColumn {
+  std::string name;  ///< e.g. an algorithm label ("LPL", "AntColony")
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+struct Series {
+  std::string name;     ///< e.g. "width_incl_dummies"
+  std::string x_label;  ///< e.g. "vertices", "variant", "tour"
+  SeriesKind kind = SeriesKind::kQuality;
+  std::vector<std::string> x;  ///< row labels, shared by every column
+  std::vector<SeriesColumn> columns;
+};
+
+/// One recorded shape check (the paper's qualitative claims, evaluated
+/// against the measured values). Claims over runtimes carry kTiming: they
+/// are recorded and printed like any other, but the comparator never gates
+/// on them (hardware noise can flip a microsecond-margin ordering).
+struct Claim {
+  std::string description;
+  double lhs = 0.0;
+  std::string relation;  ///< "<", "<=", ">", ">=", "~="
+  double rhs = 0.0;
+  double tolerance = 0.0;
+  SeriesKind kind = SeriesKind::kQuality;
+  bool pass = false;
+};
+
+/// Evaluates `lhs relation rhs` with the bench claim semantics (tolerance
+/// loosens every relation; "~=" means |lhs-rhs| <= tolerance).
+bool claim_holds(double lhs, const std::string& relation, double rhs,
+                 double tolerance = 0.0);
+
+struct SuiteOutput {
+  std::string name;
+  std::string description;
+  std::size_t graphs = 0;  ///< corpus graphs measured (0 = not corpus-based)
+  int repetitions = 1;
+  double wall_seconds = 0.0;  ///< best repetition
+  double cpu_seconds = 0.0;   ///< process CPU during the best repetition
+  std::vector<Series> series;
+  std::vector<Claim> claims;
+
+  /// Appends an empty series and returns it for filling. The reference is
+  /// into `series` and is invalidated by the next add_series call — fill
+  /// it completely (or build a local Series and push_back) before adding
+  /// another.
+  Series& add_series(std::string series_name, std::string x_label,
+                     SeriesKind kind = SeriesKind::kQuality);
+  /// Records the claim and returns whether it holds.
+  bool add_claim(std::string description, double lhs, std::string relation,
+                 double rhs, double tolerance = 0.0,
+                 SeriesKind kind = SeriesKind::kQuality);
+};
+
+/// Per-tour convergence summary of one representative ACO run, attached to
+/// the report so a perf PR can see search-dynamics drift, not just end
+/// metrics.
+struct TraceSummary {
+  int graph_vertices = 0;
+  std::size_t graph_edges = 0;
+  double initial_objective = 0.0;
+  std::vector<core::TourStats> tours;
+};
+
+struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
+  std::string tool = "acolay_bench";
+  std::string git_sha;
+  std::string build_type;
+  std::string compiler;
+  std::string timestamp_utc;
+
+  // Effective configuration.
+  std::string corpus;          ///< "ci-small" | "small" | "full"
+  std::size_t per_group = 0;   ///< 0 = full corpus
+  std::uint64_t corpus_seed = 0;
+  int num_threads = 0;
+  int repetitions = 1;
+  int warmup = 0;
+  core::AcoParams aco;
+
+  std::vector<SuiteOutput> suites;
+  TraceSummary trace;
+};
+
+/// The full report as a JSON document (schema above).
+std::string to_json(const BenchReport& report);
+
+/// Converts a corpus experiment into one Series: x = group vertex counts,
+/// one column (mean + stddev of `criterion`) per algorithm.
+Series experiment_series(std::string name, const ExperimentResult& result,
+                         Criterion criterion);
+
+}  // namespace acolay::harness

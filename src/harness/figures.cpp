@@ -54,6 +54,10 @@ double criterion_mean(const GroupStats& cell, Criterion criterion) {
   return select(cell, criterion).mean();
 }
 
+double criterion_stddev(const GroupStats& cell, Criterion criterion) {
+  return select(cell, criterion).stddev();
+}
+
 void print_series(std::ostream& os, const ExperimentResult& result,
                   Criterion criterion, const std::string& title) {
   os << "\n" << title << " — " << criterion_name(criterion) << "\n";

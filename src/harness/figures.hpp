@@ -31,6 +31,9 @@ std::string criterion_name(Criterion criterion);
 /// Mean of the criterion for one cell.
 double criterion_mean(const GroupStats& cell, Criterion criterion);
 
+/// Sample stddev of the criterion for one cell.
+double criterion_stddev(const GroupStats& cell, Criterion criterion);
+
 /// Prints "vertex-count x algorithm" mean series, one row per group —
 /// the figure's plotted values.
 void print_series(std::ostream& os, const ExperimentResult& result,

@@ -1,7 +1,11 @@
 #include "io/json.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "support/check.hpp"
 
 namespace acolay::io {
 
@@ -72,6 +76,141 @@ std::string to_json(const layering::LayeringMetrics& m) {
      << ",\"edge_density_norm\":" << m.edge_density_norm
      << ",\"objective\":" << m.objective << '}';
   return os.str();
+}
+
+std::string json_number(double number) {
+  if (!std::isfinite(number)) return "null";
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, number);
+  ACOLAY_CHECK(ec == std::errc{});
+  return std::string(buffer, end);
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('o');
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ACOLAY_CHECK_MSG(!stack_.empty() && stack_.back() == 'o',
+                   "end_object outside an object (or after a dangling key)");
+  stack_.pop_back();
+  has_element_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('a');
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ACOLAY_CHECK_MSG(!stack_.empty() && stack_.back() == 'a',
+                   "end_array outside an array");
+  stack_.pop_back();
+  has_element_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  ACOLAY_CHECK_MSG(!stack_.empty() && stack_.back() == 'o',
+                   "key() is only valid directly inside an object");
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  stack_.back() = 'v';  // next call must produce this key's value
+  return *this;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    ACOLAY_CHECK_MSG(out_.empty(), "document already complete");
+    return;
+  }
+  if (stack_.back() == 'v') {
+    stack_.back() = 'o';  // the pending key gets this value
+    return;
+  }
+  ACOLAY_CHECK_MSG(stack_.back() == 'a',
+                   "values inside an object need a key() first");
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  out_ += json_number(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::array(const std::vector<double>& values) {
+  begin_array();
+  for (const double v : values) value(v);
+  return end_array();
+}
+
+JsonWriter& JsonWriter::array(const std::vector<std::string>& values) {
+  begin_array();
+  for (const auto& v : values) value(v);
+  return end_array();
+}
+
+const std::string& JsonWriter::str() const {
+  ACOLAY_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+  return out_;
 }
 
 std::string layering_report_json(const graph::Digraph& g,

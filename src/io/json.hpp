@@ -1,9 +1,13 @@
-// JSON export of graphs, layerings, and metrics — the exchange format for
-// notebooks/dashboards consuming acolay results. Writer only (acolay never
-// needs to read its own reports back); strings are escaped per RFC 8259.
+// JSON export of graphs, layerings, metrics, and benchmark reports — the
+// exchange format for notebooks/dashboards consuming acolay results. Writer
+// only (acolay never needs to read its own reports back; scripts/ parse
+// them with Python); strings are escaped per RFC 8259.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "graph/digraph.hpp"
 #include "layering/layering.hpp"
@@ -13,6 +17,72 @@ namespace acolay::io {
 
 /// Escapes a string for embedding in JSON (quotes not included).
 std::string json_escape(const std::string& text);
+
+/// Streaming JSON builder with structural validation: tracks the open
+/// container stack, inserts commas, and checks key/value alternation in
+/// objects (via ACOLAY_CHECK), so a serialization bug fails loudly instead
+/// of emitting malformed output. Doubles are written with round-trip
+/// precision; non-finite values become null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; the next call must write its value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  /// Any other integral type widens to the signed/unsigned 64-bit overload.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::int64_t> &&
+             !std::is_same_v<T, std::uint64_t>)
+  JsonWriter& value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<std::int64_t>(number));
+    } else {
+      return value(static_cast<std::uint64_t>(number));
+    }
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Splices a pre-rendered JSON fragment (e.g. from to_json) as one value.
+  JsonWriter& raw(const std::string& json);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Every vector element as one array value.
+  JsonWriter& array(const std::vector<double>& values);
+  JsonWriter& array(const std::vector<std::string>& values);
+
+  /// Finished document. Requires all containers closed.
+  const std::string& str() const;
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// Open containers: 'o' object (expecting key), 'v' object (expecting
+  /// value), 'a' array; parallel flag = container already has an element.
+  std::vector<char> stack_;
+  std::vector<bool> has_element_;
+};
+
+/// Round-trip formatting of a double (shortest representation that parses
+/// back exactly); "null" for NaN/Inf. Shared by JsonWriter and tests.
+std::string json_number(double number);
 
 /// {"num_vertices": n, "vertices": [{"id","label","width"}...],
 ///  "edges": [{"source","target"}...]}

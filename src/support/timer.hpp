@@ -1,9 +1,25 @@
-// Wall-clock stopwatch for the running-time criterion (paper Figures 8/9).
+// Wall-clock stopwatch for the running-time criterion (paper Figures 8/9)
+// and a process-CPU clock for the bench runner's JSON reports.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace acolay::support {
+
+/// Process CPU time (all threads) in seconds; monotone within a run. The
+/// bench runner reports it next to wall time so parallel-efficiency
+/// regressions (wall flat, CPU doubled) are visible in the JSON.
+inline double process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
 
 /// Monotonic stopwatch. Starts running on construction.
 class Stopwatch {

@@ -1,0 +1,192 @@
+// Tests for the acolay_bench runner: corpus caching, the repetition/warmup
+// policy, report assembly, and the CLI (argument validation, suite
+// selection, JSON emission).
+#include "harness/bench_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace acolay::harness {
+namespace {
+
+BenchConfig ci_config() {
+  BenchConfig config;
+  config.corpus = CorpusSize::kCiSmall;
+  config.num_threads = 1;
+  return config;
+}
+
+Suite counting_suite(int* runs) {
+  Suite suite;
+  suite.name = "counting";
+  suite.description = "counts invocations";
+  suite.run = [runs](const SuiteContext& ctx, SuiteOutput& output) {
+    ++*runs;
+    output.graphs = ctx.corpus().graphs.size();
+    auto& series = output.add_series("value", "x");
+    series.x = {"only"};
+    series.columns.push_back({"value", {1.0}, {0.0}});
+    output.add_claim("always", 0.0, "<", 1.0);
+  };
+  return suite;
+}
+
+TEST(BenchConfig, CorpusSizesMapToSubsamples) {
+  BenchConfig config;
+  config.corpus = CorpusSize::kCiSmall;
+  EXPECT_EQ(config.per_group(), 2u);
+  EXPECT_EQ(config.corpus_name(), "ci-small");
+  config.corpus = CorpusSize::kSmall;
+  EXPECT_EQ(config.per_group(), 6u);
+  config.corpus = CorpusSize::kFull;
+  EXPECT_EQ(config.per_group(), 0u);
+  EXPECT_EQ(config.corpus_name(), "full");
+}
+
+TEST(CorpusCache, MemoizesPerSubsampleSize) {
+  gen::CorpusParams params;
+  CorpusCache cache(params);
+  const auto& a = cache.get(2);
+  const auto& b = cache.get(2);
+  EXPECT_EQ(&a, &b);  // same object, not a rebuild
+  const auto& full = cache.get(0);
+  EXPECT_EQ(full.graphs.size(), params.total_graphs);
+  EXPECT_EQ(a.graphs.size(), 2u * full.num_groups());
+}
+
+TEST(RunSuites, AppliesRepetitionAndWarmupPolicy) {
+  int runs = 0;
+  BenchConfig config = ci_config();
+  config.repetitions = 3;
+  config.warmup = 2;
+  std::ostringstream log;
+  const auto report = run_suites({counting_suite(&runs)}, config, log);
+  EXPECT_EQ(runs, 5);  // 2 warmup + 3 timed
+  ASSERT_EQ(report.suites.size(), 1u);
+  EXPECT_EQ(report.suites[0].repetitions, 3);
+  EXPECT_EQ(report.suites[0].name, "counting");
+  EXPECT_GT(report.suites[0].graphs, 0u);
+  EXPECT_GE(report.suites[0].wall_seconds, 0.0);
+}
+
+TEST(RunSuites, ReportCarriesConfigAndTrace) {
+  int runs = 0;
+  std::ostringstream log;
+  const auto report =
+      run_suites({counting_suite(&runs)}, ci_config(), log);
+  EXPECT_EQ(report.schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(report.corpus, "ci-small");
+  EXPECT_EQ(report.per_group, 2u);
+  EXPECT_FALSE(report.git_sha.empty());
+  EXPECT_FALSE(report.timestamp_utc.empty());
+  // The trace runs on the largest group (n = 100 by default).
+  EXPECT_EQ(report.trace.graph_vertices, 100);
+  EXPECT_EQ(report.trace.tours.size(),
+            static_cast<std::size_t>(ci_config().aco.num_tours));
+  // Log mentions the suite and its claim verdict.
+  EXPECT_NE(log.str().find("counting"), std::string::npos);
+  EXPECT_NE(log.str().find("[shape PASS]"), std::string::npos);
+}
+
+TEST(RunSuites, SkipsTraceWhenNoSuiteTouchesTheCorpus) {
+  Suite corpusless;
+  corpusless.name = "corpusless";
+  corpusless.description = "never touches ctx.corpus()";
+  corpusless.run = [](const SuiteContext&, SuiteOutput& output) {
+    output.add_claim("trivial", 0.0, "<", 1.0);
+  };
+  std::ostringstream log;
+  const auto report = run_suites({corpusless}, ci_config(), log);
+  EXPECT_TRUE(report.trace.tours.empty());
+  EXPECT_EQ(report.trace.graph_vertices, 0);
+}
+
+int run_cli(const std::vector<std::string>& args,
+            const std::vector<Suite>& suites, std::string* out_text = nullptr,
+            std::string* err_text = nullptr) {
+  std::vector<const char*> argv{"acolay_bench"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out, err;
+  const int rc = bench_main(static_cast<int>(argv.size()), argv.data(),
+                            suites, out, err);
+  if (out_text) *out_text = out.str();
+  if (err_text) *err_text = err.str();
+  return rc;
+}
+
+TEST(BenchMain, ListsAndValidatesSuites) {
+  int runs = 0;
+  const std::vector<Suite> suites{counting_suite(&runs)};
+  std::string out;
+  EXPECT_EQ(run_cli({"--list"}, suites, &out), 0);
+  EXPECT_NE(out.find("counting"), std::string::npos);
+  EXPECT_EQ(runs, 0);  // --list does not execute anything
+
+  std::string err;
+  EXPECT_EQ(run_cli({"--suite", "nonexistent"}, suites, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown suite"), std::string::npos);
+  EXPECT_EQ(run_cli({"--corpus", "huge"}, suites, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({"--bogus-flag"}, suites, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({"--threads"}, suites, nullptr, &err), 2);  // no value
+  // Non-numeric / overflowing values are usage errors, not aborts.
+  EXPECT_EQ(run_cli({"--threads", "four"}, suites, nullptr, &err), 2);
+  EXPECT_NE(err.find("needs a number"), std::string::npos);
+  EXPECT_EQ(run_cli({"--repetitions", "2x"}, suites, nullptr, &err), 2);
+  EXPECT_EQ(
+      run_cli({"--seed", "999999999999999999999999"}, suites, nullptr, &err),
+      2);
+}
+
+TEST(ExperimentCache, SharesIdenticalExperimentsAcrossSuites) {
+  BenchConfig config = ci_config();
+  CorpusCache corpora(config.corpus_params);
+  ExperimentCache experiments;
+  const SuiteContext context{config, corpora, experiments};
+  const std::vector<Algorithm> algs{Algorithm::kLongestPath};
+  const auto& a = context.experiment(algs);
+  const auto& b = context.experiment(algs);
+  EXPECT_EQ(&a, &b);  // second suite of a family reuses, not recomputes
+  const auto& other =
+      context.experiment({Algorithm::kLongestPath, Algorithm::kMinWidth});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(other.algorithms.size(), 2u);
+}
+
+TEST(BenchMain, RunsSelectedSuiteAndWritesJson) {
+  int runs = 0;
+  const std::vector<Suite> suites{counting_suite(&runs)};
+  const auto path = std::filesystem::temp_directory_path() /
+                    "acolay_bench_runner_test" / "report.json";
+  std::filesystem::remove_all(path.parent_path());
+  std::string out;
+  const int rc = run_cli({"--suite", "counting", "--corpus", "ci-small",
+                          "--threads", "1", "--json", path.string()},
+                         suites, &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(runs, 1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());  // parent directory was created on demand
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"name\":\"counting\""), std::string::npos);
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(BenchMain, StrictClaimsGatesOnDivergence) {
+  Suite failing;
+  failing.name = "failing";
+  failing.description = "always diverges";
+  failing.run = [](const SuiteContext&, SuiteOutput& output) {
+    output.add_claim("impossible", 2.0, "<", 1.0);
+  };
+  EXPECT_EQ(run_cli({"--suite", "failing"}, {failing}), 0);
+  EXPECT_EQ(run_cli({"--suite", "failing", "--strict-claims"}, {failing}),
+            1);
+}
+
+}  // namespace
+}  // namespace acolay::harness

@@ -1,0 +1,127 @@
+// Tests for the bench result schema: claim evaluation, series assembly
+// from experiments, and the JSON report layout that scripts/bench_diff.py
+// consumes.
+#include "harness/bench_schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/corpus.hpp"
+#include "harness/experiment.hpp"
+#include "support/check.hpp"
+
+namespace acolay::harness {
+namespace {
+
+TEST(Claims, RelationsAndTolerance) {
+  EXPECT_TRUE(claim_holds(1.0, "<", 2.0));
+  EXPECT_FALSE(claim_holds(2.0, "<", 2.0));
+  EXPECT_TRUE(claim_holds(2.0, "<=", 2.0));
+  EXPECT_TRUE(claim_holds(3.0, ">", 2.0));
+  EXPECT_FALSE(claim_holds(2.0, ">", 2.0));
+  EXPECT_TRUE(claim_holds(2.0, ">=", 2.0));
+  EXPECT_TRUE(claim_holds(1.0, "~=", 1.2, 0.25));
+  EXPECT_FALSE(claim_holds(1.0, "~=", 1.2, 0.1));
+  // Tolerance loosens the strict relations, as in the old bench checks.
+  EXPECT_TRUE(claim_holds(2.05, "<", 2.0, 0.1));
+  EXPECT_TRUE(claim_holds(1.95, ">=", 2.0, 0.1));
+  EXPECT_THROW(claim_holds(1.0, "==", 1.0), support::CheckError);
+}
+
+TEST(Claims, SuiteOutputRecordsVerdicts) {
+  SuiteOutput output;
+  EXPECT_TRUE(output.add_claim("holds", 1.0, "<", 2.0));
+  EXPECT_FALSE(output.add_claim("diverges", 3.0, "<", 2.0));
+  EXPECT_TRUE(output.add_claim("ordering", 1.0, "<", 2.0, 0.0,
+                               SeriesKind::kTiming));
+  ASSERT_EQ(output.claims.size(), 3u);
+  EXPECT_TRUE(output.claims[0].pass);
+  EXPECT_FALSE(output.claims[1].pass);
+  EXPECT_EQ(output.claims[1].description, "diverges");
+  EXPECT_EQ(output.claims[0].kind, SeriesKind::kQuality);
+  EXPECT_EQ(output.claims[2].kind, SeriesKind::kTiming);
+}
+
+ExperimentResult tiny_experiment() {
+  gen::CorpusParams params;
+  params.total_graphs = 19;  // one per group
+  ExperimentOptions opts;
+  opts.run.aco.num_ants = 4;
+  opts.run.aco.num_tours = 3;
+  return run_corpus_experiment(
+      gen::make_corpus(params),
+      {Algorithm::kLongestPath, Algorithm::kAntColony}, opts);
+}
+
+TEST(Schema, ExperimentSeriesMirrorsGroupsAndAlgorithms) {
+  const auto result = tiny_experiment();
+  const auto series =
+      experiment_series("height", result, Criterion::kHeight);
+  EXPECT_EQ(series.name, "height");
+  EXPECT_EQ(series.x_label, "vertices");
+  EXPECT_EQ(series.kind, SeriesKind::kQuality);
+  ASSERT_EQ(series.x.size(), 19u);
+  EXPECT_EQ(series.x.front(), "10");
+  EXPECT_EQ(series.x.back(), "100");
+  ASSERT_EQ(series.columns.size(), 2u);
+  EXPECT_EQ(series.columns[0].name, "LPL");
+  EXPECT_EQ(series.columns[1].name, "AntColony");
+  for (const auto& column : series.columns) {
+    ASSERT_EQ(column.mean.size(), 19u);
+    ASSERT_EQ(column.stddev.size(), 19u);
+    for (const double mean : column.mean) EXPECT_GT(mean, 0.0);
+  }
+  const auto runtime =
+      experiment_series("runtime_ms", result, Criterion::kRuntimeMs);
+  EXPECT_EQ(runtime.kind, SeriesKind::kTiming);
+}
+
+TEST(Schema, ReportJsonCarriesSchemaVersionAndPayload) {
+  BenchReport report;
+  report.git_sha = "abc123";
+  report.build_type = "Release";
+  report.corpus = "ci-small";
+  report.per_group = 2;
+  SuiteOutput suite;
+  suite.name = "fake";
+  suite.description = "a test suite";
+  suite.graphs = 7;
+  auto& series = suite.add_series("metric", "variant");
+  series.x = {"v1", "v2"};
+  series.columns.push_back({"value", {1.5, 2.0}, {0.0, 0.25}});
+  suite.add_claim("sanity", 1.0, "<", 2.0);
+  report.suites.push_back(suite);
+  report.trace.graph_vertices = 100;
+  report.trace.tours.push_back({1, 0.5, 0.4, 10.0, 5, 3, 17});
+
+  const auto json = to_json(report);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":\"abc123\""), std::string::npos);
+  EXPECT_NE(json.find("\"corpus\":\"ci-small\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fake\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\":[\"v1\",\"v2\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":[1.5,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"quality\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\":true"), std::string::npos);
+  // Claims carry the quality/timing tag the comparator keys off.
+  EXPECT_NE(json.find("\"tolerance\":0,\"kind\":\"quality\",\"pass\":true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"graph_vertices\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"total_moves\":17"), std::string::npos);
+  // The ACO config block records the paper defaults.
+  EXPECT_NE(json.find("\"alpha\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"beta\":3"), std::string::npos);
+}
+
+TEST(Schema, ReportJsonRejectsMalformedSeries) {
+  BenchReport report;
+  SuiteOutput suite;
+  suite.name = "broken";
+  auto& series = suite.add_series("metric", "x");
+  series.x = {"a", "b"};
+  series.columns.push_back({"value", {1.0}, {0.0}});  // arity mismatch
+  report.suites.push_back(suite);
+  EXPECT_THROW(to_json(report), support::CheckError);
+}
+
+}  // namespace
+}  // namespace acolay::harness

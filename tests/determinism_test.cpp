@@ -1,0 +1,117 @@
+// Thread-count determinism: src/core/colony.hpp claims "the result [is]
+// bit-identical for any thread count", and the experiment harness and the
+// bench suites inherit that claim (CI's bench-smoke gate diffs their JSON
+// against a checked-in baseline, so any scheduling-dependent numeric drift
+// would break the gate). This suite pins the claim down for
+// num_threads ∈ {1, 4, hardware} on a seeded corpus.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "gen/corpus.hpp"
+#include "harness/experiment.hpp"
+#include "harness/figures.hpp"
+
+namespace acolay {
+namespace {
+
+std::vector<int> thread_counts() {
+  const int hardware =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return {1, 4, hardware > 0 ? hardware : 1};
+}
+
+gen::Corpus seeded_corpus() {
+  gen::CorpusParams params;  // fixed default seed 20070325
+  params.total_graphs = 38;  // two per group
+  return gen::make_corpus(params);
+}
+
+TEST(Determinism, ColonyRunIsBitIdenticalAcrossThreadCounts) {
+  const auto corpus = seeded_corpus();
+  // A spread of sizes: smallest, median, largest.
+  const std::vector<std::size_t> picks{0, corpus.graphs.size() / 2,
+                                       corpus.graphs.size() - 1};
+  for (const std::size_t gi : picks) {
+    const auto& g = corpus.graphs[gi];
+    core::AcoParams params;
+    params.seed = 20070325 + gi;
+    params.num_threads = 1;
+    const auto reference = core::AntColony(g, params).run();
+    for (const int threads : thread_counts()) {
+      core::AcoParams variant = params;
+      variant.num_threads = threads;
+      const auto result = core::AntColony(g, variant).run();
+      // Bit-identical: the exact same layer for every vertex ...
+      ASSERT_EQ(result.layering.num_vertices(),
+                reference.layering.num_vertices());
+      for (std::size_t v = 0; v < reference.layering.num_vertices(); ++v) {
+        ASSERT_EQ(result.layering.layer(static_cast<graph::VertexId>(v)),
+                  reference.layering.layer(static_cast<graph::VertexId>(v)))
+            << "graph " << gi << ", threads " << threads << ", vertex " << v;
+      }
+      // ... and exactly the same objective/metrics doubles.
+      EXPECT_EQ(result.metrics.objective, reference.metrics.objective);
+      EXPECT_EQ(result.metrics.width_incl_dummies,
+                reference.metrics.width_incl_dummies);
+      EXPECT_EQ(result.metrics.height, reference.metrics.height);
+      EXPECT_EQ(result.metrics.dummy_count, reference.metrics.dummy_count);
+      // The per-tour trace is part of the claim too (same search path, not
+      // merely the same endpoint).
+      ASSERT_EQ(result.trace.size(), reference.trace.size());
+      for (std::size_t t = 0; t < reference.trace.size(); ++t) {
+        EXPECT_EQ(result.trace[t].best_objective,
+                  reference.trace[t].best_objective);
+        EXPECT_EQ(result.trace[t].total_moves,
+                  reference.trace[t].total_moves);
+      }
+    }
+  }
+}
+
+TEST(Determinism, HarnessExperimentIsBitIdenticalAcrossThreadCounts) {
+  const auto corpus = seeded_corpus();
+  const std::vector<harness::Algorithm> algs{
+      harness::Algorithm::kLongestPath, harness::Algorithm::kMinWidth,
+      harness::Algorithm::kAntColony};
+  harness::ExperimentOptions reference_opts;
+  reference_opts.run.aco.num_ants = 6;
+  reference_opts.run.aco.num_tours = 4;
+  reference_opts.num_threads = 1;
+  const auto reference =
+      harness::run_corpus_experiment(corpus, algs, reference_opts);
+
+  const std::vector<harness::Criterion> criteria{
+      harness::Criterion::kWidthInclDummies,
+      harness::Criterion::kWidthExclDummies,
+      harness::Criterion::kHeight,
+      harness::Criterion::kDummyCount,
+      harness::Criterion::kEdgeDensity,
+      harness::Criterion::kObjective};
+  for (const int threads : thread_counts()) {
+    harness::ExperimentOptions opts = reference_opts;
+    opts.num_threads = threads;
+    const auto result = harness::run_corpus_experiment(corpus, algs, opts);
+    ASSERT_EQ(result.cells.size(), reference.cells.size());
+    for (std::size_t group = 0; group < reference.cells.size(); ++group) {
+      for (std::size_t a = 0; a < algs.size(); ++a) {
+        for (const auto criterion : criteria) {
+          // EXPECT_EQ, not EXPECT_NEAR: the claim is bit-identity.
+          EXPECT_EQ(
+              criterion_mean(result.cells[group][a], criterion),
+              criterion_mean(reference.cells[group][a], criterion))
+              << "group " << group << ", alg " << a << ", threads "
+              << threads;
+          EXPECT_EQ(
+              criterion_stddev(result.cells[group][a], criterion),
+              criterion_stddev(reference.cells[group][a], criterion));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acolay

@@ -1,8 +1,11 @@
 // Tests for JSON export and the ASCII layering renderer.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "baselines/longest_path.hpp"
 #include "io/json.hpp"
+#include "support/check.hpp"
 #include "layering/metrics.hpp"
 #include "sugiyama/ascii.hpp"
 #include "support/string_util.hpp"
@@ -17,6 +20,65 @@ TEST(Json, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(io::json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(io::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
   EXPECT_EQ(io::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, BuildsNestedDocumentWithCommas) {
+  io::JsonWriter json;
+  json.begin_object();
+  json.kv("name", "acolay");
+  json.kv("version", 1);
+  json.kv("ratio", 0.5);
+  json.kv("ok", true);
+  json.key("missing").null();
+  json.key("values").array(std::vector<double>{1.0, 2.5});
+  json.key("tags").array(std::vector<std::string>{"a", "b"});
+  json.key("nested").begin_object().kv("deep", std::int64_t{-7}).end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"acolay\",\"version\":1,\"ratio\":0.5,\"ok\":true,"
+            "\"missing\":null,\"values\":[1,2.5],\"tags\":[\"a\",\"b\"],"
+            "\"nested\":{\"deep\":-7}}");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(io::json_number(0.1), "0.1");
+  EXPECT_EQ(io::json_number(1e300), "1e+300");
+  EXPECT_EQ(io::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(io::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(std::stod(io::json_number(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+TEST(JsonWriter, RejectsStructuralMisuse) {
+  {
+    io::JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), support::CheckError);  // value sans key
+  }
+  {
+    io::JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), support::CheckError);
+  }
+  {
+    io::JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), support::CheckError);  // unclosed container
+  }
+  {
+    io::JsonWriter json;
+    json.value("done");
+    EXPECT_THROW(json.value("again"), support::CheckError);  // two roots
+  }
+}
+
+TEST(JsonWriter, EscapesKeysAndSplicesRawFragments) {
+  io::JsonWriter json;
+  json.begin_object();
+  json.key("a\"b").raw("{\"pre\":1}");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"a\\\"b\":{\"pre\":1}}");
 }
 
 TEST(Json, GraphExportContainsEverything) {
