@@ -6,6 +6,8 @@
 // Replaces the old google-benchmark binary (micro_components) with the
 // harness's own repetition policy, so the numbers land in the same JSON
 // report as every other suite (kind = "timing": tracked, never gated).
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -42,7 +44,9 @@ struct Component {
 harness::Suite micro_suite() {
   harness::Suite suite;
   suite.name = "micro";
-  suite.description = "per-component microbenchmarks (n=128 G(n,m) DAG)";
+  suite.description =
+      "per-component microbenchmarks (n=128 G(n,m) DAG) + steady-state "
+      "walk throughput across size buckets";
   suite.run = [](const harness::SuiteContext& ctx,
                  harness::SuiteOutput& output) {
     // Iteration counts scale with the corpus size so ci-small stays fast.
@@ -78,6 +82,18 @@ harness::Suite micro_suite() {
            core::perform_walk(g, stretched.layering, num_layers, tau,
                               params, support::Rng(++walk_seed));
          }});
+    // Steady-state counterpart of ant_walk: the workspace-reusing overload
+    // the colony actually runs, with the CSR snapshot and all buffers
+    // amortised across iterations (zero allocation after the first walk).
+    const graph::CsrView csr(g);
+    core::WalkWorkspace walk_ws;
+    core::WalkResult walk_result;
+    components.push_back(
+        {"ant_walk_steady", 50 * scale, [&] {
+           core::perform_walk(csr, stretched.layering, num_layers, tau,
+                              params, support::Rng(++walk_seed), walk_ws,
+                              walk_result);
+         }});
     components.push_back({"colony_end_to_end", 2 * scale, [&] {
                             core::AcoParams p = params;
                             p.num_threads = 1;
@@ -99,6 +115,48 @@ harness::Suite micro_suite() {
       column.stddev.push_back(0.0);
     }
     series.columns.push_back(std::move(column));
+
+    // Walk throughput (ants·vertices per second) across graph-size
+    // buckets, through the steady-state zero-allocation hot path — the
+    // headline number for the CSR/workspace overhaul. Each bucket reuses
+    // one workspace across all iterations, exactly like a colony tour
+    // sequence; pair with --repetitions/--warmup for a stable profile
+    // (e.g. acolay_bench --suite micro --repetitions 5 --warmup 1).
+    auto& throughput = output.add_series("walk_throughput", "vertices",
+                                         harness::SeriesKind::kTiming);
+    harness::SeriesColumn walks_column{"ant_vertices_per_sec", {}, {}};
+    for (const std::size_t bucket : {std::size_t{32}, std::size_t{128},
+                                     std::size_t{512}}) {
+      const auto bucket_graph = micro_graph(bucket);
+      const auto bucket_lpl = baselines::longest_path_layering(bucket_graph);
+      const auto bucket_stretched =
+          core::stretch_layering(bucket_graph, bucket_lpl, params.stretch);
+      const int bucket_layers = std::max(bucket_stretched.num_layers, 1);
+      const core::PheromoneMatrix bucket_tau(bucket_graph.num_vertices(),
+                                             bucket_layers, params.tau0);
+      const graph::CsrView bucket_csr(bucket_graph);
+      core::WalkWorkspace ws;
+      core::WalkResult result;
+      const std::size_t iterations =
+          std::max<std::size_t>(8, 25 * scale * 128 / bucket);
+      std::uint64_t seed = 0;
+      // One warm-up walk brings every buffer to its high-water size.
+      core::perform_walk(bucket_csr, bucket_stretched.layering,
+                         bucket_layers, bucket_tau, params,
+                         support::Rng(++seed), ws, result);
+      support::Stopwatch stopwatch;
+      for (std::size_t i = 0; i < iterations; ++i) {
+        core::perform_walk(bucket_csr, bucket_stretched.layering,
+                           bucket_layers, bucket_tau, params,
+                           support::Rng(++seed), ws, result);
+      }
+      const double seconds = stopwatch.elapsed_us() / 1e6;
+      throughput.x.push_back(std::to_string(bucket));
+      walks_column.mean.push_back(
+          static_cast<double>(iterations * bucket) / seconds);
+      walks_column.stddev.push_back(0.0);
+    }
+    throughput.columns.push_back(std::move(walks_column));
   };
   return suite;
 }

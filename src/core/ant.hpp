@@ -19,11 +19,17 @@
 // equivalent and this avoids O(V * L) refreshes.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/params.hpp"
 #include "core/pheromone.hpp"
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
+#include "layering/layer_widths.hpp"
 #include "layering/layering.hpp"
 #include "layering/metrics.hpp"
+#include "layering/spans.hpp"
 #include "support/rng.hpp"
 
 namespace acolay::core {
@@ -42,6 +48,23 @@ struct WalkResult {
   int moves = 0;
 };
 
+/// The ant's reusable working state: the paper-§VI per-ant copies (layer
+/// widths, layer spans) plus every scratch buffer the walk and its metrics
+/// evaluation need. Owned by the colony (one per ant slot) and reused
+/// across all tours, so that after the first tour a walk performs zero
+/// heap allocation: every buffer is reset in place at its high-water size.
+struct WalkWorkspace {
+  layering::LayerWidths widths;
+  layering::SpanTable spans;
+  layering::MetricsWorkspace metrics;
+  std::vector<std::int32_t> order;       ///< vertex visiting order
+  std::vector<double> scores;            ///< per-candidate-layer scores
+  std::vector<double> eta_term;          ///< per-layer eta^beta cache
+  std::vector<int> ties;                 ///< argmax tie indices
+  std::vector<std::uint8_t> bfs_seen;    ///< BFS scratch (VertexOrder::kBfs)
+  std::vector<graph::VertexId> bfs_queue;
+};
+
 /// Executes one walk. `base` must be a valid layering of g within
 /// [1, num_layers]; `tau` is the shared pheromone matrix (read-only during
 /// the tour). The rng is taken by value: each (tour, ant) pair gets its own
@@ -51,5 +74,14 @@ WalkResult perform_walk(const graph::Digraph& g,
                         const layering::Layering& base, int num_layers,
                         const PheromoneMatrix& tau, const AcoParams& params,
                         support::Rng rng);
+
+/// Allocation-free variant over a frozen CSR view: all working state lives
+/// in `ws`, and the walk writes into `result` (whose buffers are likewise
+/// reused). Bit-identical to the Digraph overload for the same inputs; the
+/// workspace carries no state across calls beyond buffer capacity.
+void perform_walk(const graph::CsrView& g, const layering::Layering& base,
+                  int num_layers, const PheromoneMatrix& tau,
+                  const AcoParams& params, support::Rng rng,
+                  WalkWorkspace& ws, WalkResult& result);
 
 }  // namespace acolay::core

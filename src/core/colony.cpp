@@ -1,10 +1,14 @@
 #include "core/colony.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "baselines/longest_path.hpp"
 #include "core/stretch.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -32,6 +36,9 @@ AcoResult AntColony::run() {
   }
 
   // --- Initialisation phase (Alg. 3) -------------------------------------
+  // One frozen CSR snapshot serves every walk and metrics evaluation of
+  // the run: the ants only read the topology.
+  const graph::CsrView csr(g_);
   const auto lpl = baselines::longest_path_layering(g_);
   auto stretched = stretch_layering(g_, lpl, params_.stretch);
   const int num_layers = std::max(stretched.num_layers, 1);
@@ -59,6 +66,12 @@ AcoResult AntColony::run() {
 
   const auto num_ants = static_cast<std::size_t>(params_.num_ants);
   std::vector<WalkResult> walks(num_ants);
+  // One workspace per ant slot, reused across all tours: walks allocate
+  // only until every buffer reaches its high-water size (steady state is
+  // allocation-free). Slot i is only ever touched by the task running ant
+  // i, so the workspaces need no synchronisation, and keying by ant rather
+  // than by worker thread keeps results independent of scheduling.
+  if (workspaces_.size() < num_ants) workspaces_.resize(num_ants);
 
   support::ThreadPool pool(params_.num_threads <= 0
                                ? 0
@@ -68,9 +81,9 @@ AcoResult AntColony::run() {
   int stagnant_tours = 0;
   for (int tour = 1; tour <= params_.num_tours; ++tour) {
     support::parallel_for(pool, num_ants, [&](std::size_t ant) {
-      walks[ant] =
-          perform_walk(g_, base, num_layers, tau, params_,
-                       root.fork(static_cast<std::uint64_t>(tour), ant));
+      perform_walk(csr, base, num_layers, tau, params_,
+                   root.fork(static_cast<std::uint64_t>(tour), ant),
+                   workspaces_[ant], walks[ant]);
     });
 
     // Tour-best ant: max objective, ties to the lowest index (deterministic

@@ -64,6 +64,9 @@ class AntColony {
  private:
   const graph::Digraph& g_;
   AcoParams params_;
+  /// Per-ant-slot walk workspaces, reused across tours (and across run()
+  /// calls) so the steady-state inner loop is allocation-free.
+  std::vector<WalkWorkspace> workspaces_;
 };
 
 /// Convenience wrapper: runs a colony and returns only the layering.

@@ -28,6 +28,17 @@ class PheromoneMatrix {
     return tau_[offset(v, layer)];
   }
 
+  /// tau(v, l) without the release-build bounds checks — the ant's scoring
+  /// loop reads tau once per candidate layer, and the layer is already
+  /// range-checked by construction (it comes from the vertex's layer span).
+  double at_unchecked(graph::VertexId v, int layer) const {
+    ACOLAY_DCHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < vertices_,
+                      "vertex " << v << " out of range");
+    ACOLAY_DCHECK_MSG(layer >= 1 && layer <= layers_,
+                      "layer " << layer << " out of range");
+    return tau_[offset_unchecked(v, layer)];
+  }
+
   /// tau *= (1 - rho) for every element.
   void evaporate(double rho);
 
@@ -41,13 +52,19 @@ class PheromoneMatrix {
   double max_value() const;
 
  private:
+  /// The row-major layout, in exactly one place: both accessors route
+  /// through it, so they cannot diverge if the layout changes.
+  std::size_t offset_unchecked(graph::VertexId v, int layer) const {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(layers_) +
+           static_cast<std::size_t>(layer - 1);
+  }
+
   std::size_t offset(graph::VertexId v, int layer) const {
     ACOLAY_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < vertices_,
                      "vertex " << v << " out of range");
     ACOLAY_CHECK_MSG(layer >= 1 && layer <= layers_,
                      "layer " << layer << " out of range");
-    return static_cast<std::size_t>(v) * static_cast<std::size_t>(layers_) +
-           static_cast<std::size_t>(layer - 1);
+    return offset_unchecked(v, layer);
   }
 
   std::size_t vertices_;

@@ -149,23 +149,33 @@ bool is_weakly_connected(const Digraph& g) {
   return weakly_connected_components(g).second == 1;
 }
 
-std::vector<VertexId> bfs_order(const Digraph& g, VertexId start) {
+namespace {
+
+// One BFS implementation for both graph representations (undirected
+// frontier, FIFO via a growing vector with a head cursor): any change to
+// the visit order applies to Digraph and CsrView alike, so they cannot
+// drift apart.
+template <typename Graph>
+void bfs_order_impl(const Graph& g, VertexId start,
+                    std::vector<VertexId>& order,
+                    std::vector<std::uint8_t>& seen,
+                    std::vector<VertexId>& queue) {
   const auto n = g.num_vertices();
-  std::vector<VertexId> order;
-  if (n == 0) return order;
-  ACOLAY_CHECK(g.has_vertex(start));
-  std::vector<bool> seen(n, false);
-  order.reserve(n);
+  order.clear();
+  if (n == 0) return;
+  ACOLAY_CHECK(start >= 0 && static_cast<std::size_t>(start) < n);
+  seen.assign(n, 0);
+  queue.clear();
+  std::size_t head = 0;
   const auto run_from = [&](VertexId root) {
-    std::deque<VertexId> queue{root};
-    seen[static_cast<std::size_t>(root)] = true;
-    while (!queue.empty()) {
-      const VertexId u = queue.front();
-      queue.pop_front();
+    queue.push_back(root);
+    seen[static_cast<std::size_t>(root)] = 1;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
       order.push_back(u);
       const auto visit = [&](VertexId v) {
         if (!seen[static_cast<std::size_t>(v)]) {
-          seen[static_cast<std::size_t>(v)] = true;
+          seen[static_cast<std::size_t>(v)] = 1;
           queue.push_back(v);
         }
       };
@@ -177,7 +187,31 @@ std::vector<VertexId> bfs_order(const Digraph& g, VertexId start) {
   for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
     if (!seen[static_cast<std::size_t>(v)]) run_from(v);
   }
+}
+
+}  // namespace
+
+std::vector<VertexId> bfs_order(const Digraph& g, VertexId start) {
+  std::vector<VertexId> order;
+  std::vector<std::uint8_t> seen;
+  std::vector<VertexId> queue;
+  bfs_order_impl(g, start, order, seen, queue);
   return order;
+}
+
+std::vector<VertexId> bfs_order(const CsrView& g, VertexId start) {
+  std::vector<VertexId> order;
+  std::vector<std::uint8_t> seen;
+  std::vector<VertexId> queue;
+  bfs_order_impl(g, start, order, seen, queue);
+  return order;
+}
+
+void bfs_order_into(const CsrView& g, VertexId start,
+                    std::vector<VertexId>& order,
+                    std::vector<std::uint8_t>& seen,
+                    std::vector<VertexId>& queue) {
+  bfs_order_impl(g, start, order, seen, queue);
 }
 
 std::vector<VertexId> dfs_postorder(const Digraph& g) {

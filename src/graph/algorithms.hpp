@@ -3,9 +3,11 @@
 // layering algorithm in acolay builds on.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 
 namespace acolay::graph {
@@ -44,6 +46,18 @@ bool is_weakly_connected(const Digraph& g);
 /// (restarting from unvisited vertices in id order once exhausted). Visits
 /// every vertex exactly once.
 std::vector<VertexId> bfs_order(const Digraph& g, VertexId start = 0);
+
+/// CSR overload — identical visit order (one shared implementation, and
+/// CsrView preserves the Digraph's adjacency order).
+std::vector<VertexId> bfs_order(const CsrView& g, VertexId start = 0);
+
+/// In-place bfs_order with caller-owned buffers — the allocation-free
+/// variant the ACO walk uses. `order` receives the visit order; `seen`
+/// and `queue` are scratch.
+void bfs_order_into(const CsrView& g, VertexId start,
+                    std::vector<VertexId>& order,
+                    std::vector<std::uint8_t>& seen,
+                    std::vector<VertexId>& queue);
 
 /// Depth-first postorder over edge direction, restarting from unvisited
 /// vertices in id order.

@@ -1,0 +1,36 @@
+#include "graph/csr.hpp"
+
+namespace acolay::graph {
+
+void CsrView::rebuild(const Digraph& g) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  num_vertices_ = n;
+
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  out_targets_.clear();
+  out_targets_.reserve(m);
+  in_sources_.clear();
+  in_sources_.reserve(m);
+  edges_.clear();
+  edges_.reserve(m);
+  width_.resize(n);
+
+  for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    width_[i] = g.width(v);
+    // Copy both adjacency lists verbatim: order preservation is what makes
+    // BFS orders and float accumulation bit-identical across
+    // representations (see the header comment).
+    for (const VertexId w : g.successors(v)) {
+      out_targets_.push_back(w);
+      edges_.push_back(Edge{v, w});
+    }
+    out_offsets_[i + 1] = out_targets_.size();
+    for (const VertexId p : g.predecessors(v)) in_sources_.push_back(p);
+    in_offsets_[i + 1] = in_sources_.size();
+  }
+}
+
+}  // namespace acolay::graph

@@ -1,0 +1,95 @@
+// Frozen CSR (compressed sparse row) snapshot of a Digraph — the read-only
+// graph shape the ACO hot path runs on.
+//
+// Digraph stores one heap vector per vertex per direction; every adjacency
+// access in the ant's inner loop therefore chases a pointer into a separate
+// allocation, and Digraph::edges() materialises a fresh vector on every
+// call (compute_metrics used to rebuild it five times per walk). A CsrView
+// packs the same topology into four contiguous arrays built once per
+// AntColony::run() (or metrics call):
+//
+//   out_offsets_/out_targets_ — successor lists, vertex-major
+//   in_offsets_/in_sources_   — predecessor lists, vertex-major
+//   edges_                    — the full edge array, source-major
+//   width_                    — per-vertex drawing widths
+//
+// Adjacency *order is preserved exactly* from the Digraph (successor and
+// predecessor lists are copied verbatim, and edges() enumerates in the same
+// source-major order as Digraph::edges()), so algorithms whose results
+// depend on neighbour iteration order — BFS vertex orders, floating-point
+// accumulation in the metrics — are bit-identical on either representation.
+//
+// The view is a snapshot: mutating the source Digraph afterwards does not
+// update it; rebuild() re-snapshots while reusing the buffers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/check.hpp"
+
+namespace acolay::graph {
+
+class CsrView {
+ public:
+  /// An empty view (0 vertices); fill with rebuild().
+  CsrView() = default;
+
+  explicit CsrView(const Digraph& g) { rebuild(g); }
+
+  /// Re-snapshots `g`, reusing the existing buffers where capacity allows.
+  void rebuild(const Digraph& g);
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Immediate successors N+(v), in the source Digraph's adjacency order.
+  std::span<const VertexId> successors(VertexId v) const {
+    check_vertex(v);
+    const auto i = static_cast<std::size_t>(v);
+    return {out_targets_.data() + out_offsets_[i],
+            out_offsets_[i + 1] - out_offsets_[i]};
+  }
+
+  /// Immediate predecessors N-(v), in the source Digraph's adjacency order.
+  std::span<const VertexId> predecessors(VertexId v) const {
+    check_vertex(v);
+    const auto i = static_cast<std::size_t>(v);
+    return {in_sources_.data() + in_offsets_[i],
+            in_offsets_[i + 1] - in_offsets_[i]};
+  }
+
+  std::size_t out_degree(VertexId v) const { return successors(v).size(); }
+  std::size_t in_degree(VertexId v) const { return predecessors(v).size(); }
+
+  /// All edges, source-major — the same order Digraph::edges() returns,
+  /// but as a borrowed view instead of a fresh vector per call.
+  std::span<const Edge> edges() const { return edges_; }
+
+  double width(VertexId v) const {
+    check_vertex(v);
+    return width_[static_cast<std::size_t>(v)];
+  }
+
+  /// The whole width array (index = vertex id).
+  std::span<const double> widths() const { return width_; }
+
+ private:
+  void check_vertex([[maybe_unused]] VertexId v) const {
+    ACOLAY_DCHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < num_vertices_,
+                      "vertex " << v << " out of range (n=" << num_vertices_
+                                << ")");
+  }
+
+  std::size_t num_vertices_ = 0;
+  std::vector<std::size_t> out_offsets_;  // size n+1 (empty when n == 0)
+  std::vector<std::size_t> in_offsets_;
+  std::vector<VertexId> out_targets_;
+  std::vector<VertexId> in_sources_;
+  std::vector<Edge> edges_;
+  std::vector<double> width_;
+};
+
+}  // namespace acolay::graph

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "layering/layering.hpp"
 
@@ -30,10 +31,20 @@ namespace acolay::layering {
 
 class LayerWidths {
  public:
+  /// An empty profile; fill with reset() before use.
+  LayerWidths() = default;
+
   /// Builds the width profile of `l` over `num_layers` layers (>= max
   /// layer), including dummy contributions at `dummy_width` per dummy.
   LayerWidths(const graph::Digraph& g, const Layering& l, int num_layers,
               double dummy_width);
+
+  /// Rebuilds the profile in place, reusing the existing buffers — the
+  /// per-walk initialisation of the ACO hot path, allocation-free once the
+  /// buffers have reached their high-water size. Produces exactly the
+  /// widths the constructor would.
+  void reset(const graph::CsrView& g, const Layering& l, int num_layers,
+             double dummy_width);
 
   int num_layers() const { return static_cast<int>(width_.size()); }
   double dummy_width() const { return dummy_width_; }
@@ -41,6 +52,15 @@ class LayerWidths {
   double width(int layer) const {
     ACOLAY_CHECK_MSG(layer >= 1 && layer <= num_layers(),
                      "layer " << layer << " out of range");
+    return width_[static_cast<std::size_t>(layer - 1)];
+  }
+
+  /// width() without the release-build range check — for the ant's inner
+  /// loop, where the layer comes from a span that is in range by
+  /// construction (mirrors PheromoneMatrix::at_unchecked).
+  double width_unchecked(int layer) const {
+    ACOLAY_DCHECK_MSG(layer >= 1 && layer <= num_layers(),
+                      "layer " << layer << " out of range");
     return width_[static_cast<std::size_t>(layer - 1)];
   }
 
@@ -52,11 +72,20 @@ class LayerWidths {
   void apply_move(const graph::Digraph& g, graph::VertexId v, int from,
                   int to);
 
+  /// CSR-view overload used by the ant's inner loop (bounds checked in
+  /// debug builds only).
+  void apply_move(const graph::CsrView& g, graph::VertexId v, int from,
+                  int to);
+
   const std::vector<double>& profile() const { return width_; }
 
  private:
+  void apply_move_deltas(double vertex_width, double out_delta,
+                         double in_delta, int from, int to);
+
   std::vector<double> width_;
-  double dummy_width_;
+  std::vector<double> diff_;  // reset() scratch for the dummy prefix
+  double dummy_width_ = 0.0;
 };
 
 }  // namespace acolay::layering

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "layering/layering.hpp"
 
@@ -29,6 +30,51 @@ struct MetricsOptions {
   /// production value 1.0).
   double dummy_width = 1.0;
 };
+
+namespace detail {
+
+/// The canonical width-profile accumulation (vertex widths in id order,
+/// then the dummy difference array in edge order, then the running
+/// prefix), shared by layer_width_profile and LayerWidths::reset so
+/// there is exactly one accumulation order to keep bit-identical.
+/// `width` is (re)sized to `num_layers` (>= max_layer, extra layers
+/// zero); `diff` is scratch. Works for Digraph and CsrView alike.
+template <typename Graph>
+void width_profile_into(const Graph& g, const Layering& l,
+                        double dummy_width, bool include_dummies,
+                        int max_layer, int num_layers,
+                        std::vector<double>& width,
+                        std::vector<double>& diff) {
+  ACOLAY_CHECK_MSG(l.num_vertices() == g.num_vertices(),
+                   "layering covers " << l.num_vertices()
+                                      << " vertices, graph has "
+                                      << g.num_vertices());
+  width.assign(static_cast<std::size_t>(num_layers), 0.0);
+  const std::vector<int>& layers = l.raw();
+  for (std::size_t v = 0; v < layers.size(); ++v) {
+    width[static_cast<std::size_t>(layers[v] - 1)] +=
+        g.width(static_cast<graph::VertexId>(v));
+  }
+  if (include_dummies && dummy_width > 0.0) {
+    // Difference array over the layers each edge strictly crosses:
+    // layers layer(v)+1 .. layer(u)-1 for edge (u, v).
+    diff.assign(static_cast<std::size_t>(max_layer) + 1, 0.0);
+    for (const auto& [u, v] : g.edges()) {
+      const int from = layers[static_cast<std::size_t>(v)] + 1;
+      const int to = layers[static_cast<std::size_t>(u)] - 1;
+      if (from > to) continue;
+      diff[static_cast<std::size_t>(from - 1)] += dummy_width;
+      diff[static_cast<std::size_t>(to)] -= dummy_width;
+    }
+    double running = 0.0;
+    for (int layer = 0; layer < max_layer; ++layer) {
+      running += diff[static_cast<std::size_t>(layer)];
+      width[static_cast<std::size_t>(layer)] += running;
+    }
+  }
+}
+
+}  // namespace detail
 
 /// Per-layer widths, index 0 = layer 1, length = max layer. Includes dummy
 /// contributions when `include_dummies`.
@@ -88,5 +134,31 @@ struct LayeringMetrics {
 
 LayeringMetrics compute_metrics(const graph::Digraph& g, const Layering& l,
                                 const MetricsOptions& opts = {});
+
+/// Reusable scratch buffers for the fused single-pass compute_metrics.
+/// Buffers grow on demand and are never shrunk, so a workspace reused
+/// across calls (one per ant, in the ACO hot path) allocates only until
+/// the high-water mark is reached.
+struct MetricsWorkspace {
+  std::vector<int> remap;         ///< occupied flags, then layer -> rank
+  std::vector<double> width;      ///< per-layer width incl. dummies
+  std::vector<double> width_real; ///< per-layer width excl. dummies
+  std::vector<double> dummy_diff; ///< dummy-width difference array
+  std::vector<std::int64_t> gap_diff;  ///< edges-per-gap difference array
+};
+
+/// Fused single-pass compute_metrics: one scan over the CSR edge array and
+/// one over the vertices replace the five per-metric edge scans (width
+/// profile, real width, dummy count, total span, edges per gap), writing
+/// into caller-provided scratch. Results are bit-identical to the
+/// per-metric functions above.
+///
+/// With `compact` set, evaluates the *normalized* layering (empty layers
+/// removed — the paper's evaluation space) without materializing it: the
+/// layer ranks are applied through a remap table during the scans. This is
+/// the copy-free equivalent of compute_metrics(g, normalized(l), opts).
+LayeringMetrics compute_metrics(const graph::CsrView& g, const Layering& l,
+                                const MetricsOptions& opts,
+                                MetricsWorkspace& ws, bool compact = false);
 
 }  // namespace acolay::layering

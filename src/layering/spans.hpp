@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "layering/layering.hpp"
 
@@ -31,10 +32,21 @@ struct LayerSpan {
 LayerSpan compute_span(const graph::Digraph& g, const Layering& l,
                        graph::VertexId v, int num_layers);
 
+/// CSR-view overload (the ACO hot path).
+LayerSpan compute_span(const graph::CsrView& g, const Layering& l,
+                       graph::VertexId v, int num_layers);
+
 /// Cached spans for all vertices with per-vertex refresh.
 class SpanTable {
  public:
+  /// An empty table; fill with reset() before use.
+  SpanTable() = default;
+
   SpanTable(const graph::Digraph& g, const Layering& l, int num_layers);
+
+  /// Recomputes every span in place, reusing the table's storage — the
+  /// per-walk initialisation of the ACO hot path.
+  void reset(const graph::CsrView& g, const Layering& l, int num_layers);
 
   const LayerSpan& span(graph::VertexId v) const {
     return spans_[static_cast<std::size_t>(v)];
@@ -46,15 +58,18 @@ class SpanTable {
   /// vertex, per paper Alg. 4 lines 9–11).
   void refresh(const graph::Digraph& g, const Layering& l,
                graph::VertexId v);
+  void refresh(const graph::CsrView& g, const Layering& l, graph::VertexId v);
 
   /// Refreshes the spans of every neighbour of `moved` and of `moved`
   /// itself.
   void refresh_around(const graph::Digraph& g, const Layering& l,
                       graph::VertexId moved);
+  void refresh_around(const graph::CsrView& g, const Layering& l,
+                      graph::VertexId moved);
 
  private:
   std::vector<LayerSpan> spans_;
-  int num_layers_;
+  int num_layers_ = 0;
 };
 
 }  // namespace acolay::layering

@@ -52,3 +52,19 @@ namespace detail {
                                               acolay_check_os_.str());      \
     }                                                                       \
   } while (false)
+
+// Debug-only variants for accessors on the ACO inner loop (CSR adjacency,
+// pheromone lookups, layer-width reads), where even a predictable branch is
+// measurable. Active in debug builds (and asan/ubsan presets, which also
+// build without NDEBUG); compiled out entirely under NDEBUG.
+#ifdef NDEBUG
+#define ACOLAY_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#define ACOLAY_DCHECK_MSG(expr, msg) \
+  do {                               \
+  } while (false)
+#else
+#define ACOLAY_DCHECK(expr) ACOLAY_CHECK(expr)
+#define ACOLAY_DCHECK_MSG(expr, msg) ACOLAY_CHECK_MSG(expr, msg)
+#endif

@@ -80,6 +80,22 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
     total += w;
   }
   ACOLAY_CHECK_MSG(total > 0.0, "weighted_index requires a positive weight");
+  return weighted_index(weights, total);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights,
+                                double total) {
+#ifndef NDEBUG
+  double check_total = 0.0;
+  for (const double w : weights) {
+    ACOLAY_DCHECK_MSG(w >= 0.0, "negative weight " << w);
+    check_total += w;
+  }
+  ACOLAY_DCHECK_MSG(check_total == total,
+                    "total " << total << " does not match weights sum "
+                             << check_total);
+#endif
+  ACOLAY_CHECK_MSG(total > 0.0, "weighted_index requires a positive weight");
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

@@ -77,6 +77,12 @@ class Rng {
   /// weights are rejected.
   std::size_t weighted_index(std::span<const double> weights);
 
+  /// Hot-path overload for callers that already hold the weights' sum
+  /// (accumulated in index order — the same order this class sums in, so
+  /// the draw is bit-identical to the validating overload). Skips the
+  /// per-element validation scan; preconditions checked in debug builds.
+  std::size_t weighted_index(std::span<const double> weights, double total);
+
   /// Derives an independent child stream from this generator's original seed
   /// and the given stream identifiers (order-sensitive).
   Rng fork(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0) const;

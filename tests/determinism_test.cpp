@@ -9,8 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/longest_path.hpp"
 #include "core/colony.hpp"
+#include "core/stretch.hpp"
 #include "gen/corpus.hpp"
+#include "graph/csr.hpp"
 #include "harness/experiment.hpp"
 #include "harness/figures.hpp"
 
@@ -67,6 +70,80 @@ TEST(Determinism, ColonyRunIsBitIdenticalAcrossThreadCounts) {
         EXPECT_EQ(result.trace[t].total_moves,
                   reference.trace[t].total_moves);
       }
+    }
+  }
+}
+
+TEST(Determinism, WalkWorkspaceReuseIsBitIdentical) {
+  // The colony reuses one WalkWorkspace per ant slot across every tour;
+  // this pins that a *reused* workspace produces exactly the walks a
+  // *fresh* workspace does, over an evolving tour-base sequence (each
+  // walk's result seeds the next walk, like Alg. 4's base hand-off).
+  const auto corpus = seeded_corpus();
+  const std::vector<std::size_t> picks{0, corpus.graphs.size() / 2,
+                                       corpus.graphs.size() - 1};
+  for (const std::size_t gi : picks) {
+    const auto& g = corpus.graphs[gi];
+    const graph::CsrView csr(g);
+    const auto lpl = baselines::longest_path_layering(g);
+    core::AcoParams params;
+    const auto stretched = core::stretch_layering(g, lpl, params.stretch);
+    const int num_layers = std::max(stretched.num_layers, 1);
+    const core::PheromoneMatrix tau(g.num_vertices(), num_layers,
+                                    params.tau0);
+    const support::Rng root(20070325 + gi);
+
+    core::WalkWorkspace reused;
+    core::WalkResult reused_result;
+    layering::Layering base_a = stretched.layering;
+    layering::Layering base_b = stretched.layering;
+    for (std::uint64_t walk = 0; walk < 6; ++walk) {
+      core::perform_walk(csr, base_a, num_layers, tau, params,
+                         root.fork(walk), reused, reused_result);
+      core::WalkWorkspace fresh;
+      core::WalkResult fresh_result;
+      core::perform_walk(csr, base_b, num_layers, tau, params,
+                         root.fork(walk), fresh, fresh_result);
+      ASSERT_EQ(reused_result.layering, fresh_result.layering)
+          << "graph " << gi << ", walk " << walk;
+      EXPECT_EQ(reused_result.objective, fresh_result.objective);
+      EXPECT_EQ(reused_result.metrics.width_incl_dummies,
+                fresh_result.metrics.width_incl_dummies);
+      EXPECT_EQ(reused_result.metrics.dummy_count,
+                fresh_result.metrics.dummy_count);
+      EXPECT_EQ(reused_result.moves, fresh_result.moves);
+      base_a = reused_result.layering;
+      base_b = fresh_result.layering;
+    }
+  }
+}
+
+TEST(Determinism, ColonyRerunWithWarmWorkspacesIsBitIdentical) {
+  // run() reuses the colony's per-ant workspaces across calls: a second
+  // run on warm (high-water-sized) buffers must reproduce the first run
+  // bit for bit, at every thread count.
+  const auto corpus = seeded_corpus();
+  const auto& g = corpus.graphs[corpus.graphs.size() / 2];
+  for (const int threads : thread_counts()) {
+    core::AcoParams params;
+    params.seed = 20070326;
+    params.num_threads = threads;
+    core::AntColony colony(g, params);
+    const auto cold = colony.run();
+    const auto warm = colony.run();
+    ASSERT_EQ(cold.layering.num_vertices(), warm.layering.num_vertices());
+    for (std::size_t v = 0; v < cold.layering.num_vertices(); ++v) {
+      ASSERT_EQ(cold.layering.layer(static_cast<graph::VertexId>(v)),
+                warm.layering.layer(static_cast<graph::VertexId>(v)))
+          << "threads " << threads << ", vertex " << v;
+    }
+    EXPECT_EQ(cold.metrics.objective, warm.metrics.objective);
+    EXPECT_EQ(cold.metrics.width_incl_dummies,
+              warm.metrics.width_incl_dummies);
+    ASSERT_EQ(cold.trace.size(), warm.trace.size());
+    for (std::size_t t = 0; t < cold.trace.size(); ++t) {
+      EXPECT_EQ(cold.trace[t].best_objective, warm.trace[t].best_objective);
+      EXPECT_EQ(cold.trace[t].total_moves, warm.trace[t].total_moves);
     }
   }
 }

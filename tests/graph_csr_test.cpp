@@ -1,0 +1,140 @@
+// CsrView must be an exact snapshot of the Digraph it freezes: same
+// topology, same attribute values, and — critically for bit-identical ACO
+// results — the same adjacency and edge enumeration *order*. The walk's
+// BFS vertex order and the metrics' floating-point accumulation both
+// depend on iteration order, so these tests pin order, not just set
+// equality, across a randomized battery.
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "test_util.hpp"
+
+namespace acolay::graph {
+namespace {
+
+void expect_matches(const Digraph& g, const CsrView& csr) {
+  ASSERT_EQ(csr.num_vertices(), g.num_vertices());
+  ASSERT_EQ(csr.num_edges(), g.num_edges());
+  for (VertexId v = 0; static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(csr.width(v), g.width(v));
+    EXPECT_EQ(csr.out_degree(v), g.out_degree(v));
+    EXPECT_EQ(csr.in_degree(v), g.in_degree(v));
+    // Order-sensitive comparison on purpose (see file comment).
+    const auto succ = csr.successors(v);
+    const auto succ_ref = g.successors(v);
+    ASSERT_EQ(succ.size(), succ_ref.size());
+    for (std::size_t i = 0; i < succ.size(); ++i) {
+      EXPECT_EQ(succ[i], succ_ref[i]) << "vertex " << v << " successor " << i;
+    }
+    const auto pred = csr.predecessors(v);
+    const auto pred_ref = g.predecessors(v);
+    ASSERT_EQ(pred.size(), pred_ref.size());
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      EXPECT_EQ(pred[i], pred_ref[i])
+          << "vertex " << v << " predecessor " << i;
+    }
+  }
+  const auto edges = csr.edges();
+  const auto edges_ref = g.edges();
+  ASSERT_EQ(edges.size(), edges_ref.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i], edges_ref[i]) << "edge " << i;
+  }
+}
+
+TEST(CsrView, EmptyGraph) {
+  const CsrView csr((Digraph()));
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_TRUE(csr.edges().empty());
+  EXPECT_TRUE(csr.widths().empty());
+}
+
+TEST(CsrView, DefaultConstructedIsEmpty) {
+  const CsrView csr;
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(CsrView, EdgelessVertices) {
+  const Digraph g(5);
+  const CsrView csr(g);
+  expect_matches(g, csr);
+}
+
+TEST(CsrView, MatchesDigraphOnHandwrittenGraphs) {
+  for (const auto& g : {test::diamond(), test::triangle_with_long_edge(),
+                        test::two_chains(), test::small_dag()}) {
+    expect_matches(g, CsrView(g));
+  }
+}
+
+TEST(CsrView, MatchesDigraphOnRandomBattery) {
+  for (const auto& g : test::random_battery()) {
+    expect_matches(g, CsrView(g));
+  }
+}
+
+TEST(CsrView, PreservesVertexWidths) {
+  Digraph g(3);
+  g.set_width(0, 2.5);
+  g.set_width(2, 0.25);
+  g.add_edge(2, 0);
+  const CsrView csr(g);
+  EXPECT_DOUBLE_EQ(csr.width(0), 2.5);
+  EXPECT_DOUBLE_EQ(csr.width(1), 1.0);
+  EXPECT_DOUBLE_EQ(csr.width(2), 0.25);
+  ASSERT_EQ(csr.widths().size(), 3u);
+  EXPECT_DOUBLE_EQ(csr.widths()[0], 2.5);
+}
+
+TEST(CsrView, RebuildReusesAcrossGraphs) {
+  // A view rebuilt over a sequence of graphs must equal a fresh snapshot
+  // each time (no stale carry-over from earlier, larger graphs).
+  const auto battery = test::random_battery(12, 424242);
+  CsrView reused;
+  for (const auto& g : battery) {
+    reused.rebuild(g);
+    expect_matches(g, reused);
+  }
+  // Shrinking rebuild: big graph then tiny one.
+  reused.rebuild(test::diamond());
+  expect_matches(test::diamond(), reused);
+}
+
+TEST(CsrView, BfsOrderMatchesDigraphFromEveryStart) {
+  // The ACO's kBfs vertex order runs over the CSR view; the visit order
+  // must be exactly graph::bfs_order's over the Digraph (the walk results
+  // depend on it). Pin it from several starts, plus the in-place variant
+  // with reused buffers.
+  std::vector<VertexId> order;
+  std::vector<std::uint8_t> seen;
+  std::vector<VertexId> queue;
+  for (const auto& g : test::random_battery(12, 9090)) {
+    const CsrView csr(g);
+    const auto n = static_cast<VertexId>(g.num_vertices());
+    for (const VertexId start : {VertexId{0}, static_cast<VertexId>(n / 2),
+                                 static_cast<VertexId>(n - 1)}) {
+      const auto reference = bfs_order(g, start);
+      EXPECT_EQ(bfs_order(csr, start), reference);
+      bfs_order_into(csr, start, order, seen, queue);
+      EXPECT_EQ(order, reference);
+    }
+  }
+}
+
+TEST(CsrView, IsASnapshotNotALiveView) {
+  Digraph g(3);
+  g.add_edge(2, 1);
+  const CsrView csr(g);
+  g.add_edge(1, 0);
+  EXPECT_EQ(csr.num_edges(), 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace acolay::graph
