@@ -8,6 +8,7 @@ std::vector<harness::Suite> all_suites() {
   for (auto& suite : param_suites()) suites.push_back(std::move(suite));
   suites.push_back(corpus_stats_suite());
   suites.push_back(micro_suite());
+  suites.push_back(batch_throughput_suite());
   return suites;
 }
 

@@ -28,6 +28,11 @@ harness::Suite corpus_stats_suite();
 /// micro — per-component timings of the acolay building blocks.
 harness::Suite micro_suite();
 
+/// batch_throughput — core::BatchSolver vs the sequential colony loop
+/// (graphs/s, ant·vertices/s, and the exact-parity quality series) across
+/// batch sizes 1/8/64.
+harness::Suite batch_throughput_suite();
+
 /// Every registered suite, in canonical order.
 std::vector<harness::Suite> all_suites();
 

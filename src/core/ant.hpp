@@ -63,6 +63,22 @@ struct WalkWorkspace {
   std::vector<int> ties;                 ///< argmax tie indices
   std::vector<std::uint8_t> bfs_seen;    ///< BFS scratch (VertexOrder::kBfs)
   std::vector<graph::VertexId> bfs_queue;
+
+  /// Pre-grows every buffer for walks over graphs of up to `num_vertices`
+  /// vertices and `num_layers` layers (the batch solver sizes worker
+  /// workspaces to the largest admitted graph). Lives here so a new
+  /// scratch member cannot be forgotten in a far-away reservation list.
+  void reserve(std::size_t num_vertices, std::size_t num_layers) {
+    widths.reserve(static_cast<int>(num_layers));
+    spans.reserve(num_vertices);
+    metrics.reserve(num_layers);
+    order.reserve(num_vertices);
+    scores.reserve(num_layers);
+    eta_term.reserve(num_layers);
+    ties.reserve(num_layers);
+    bfs_seen.reserve(num_vertices);
+    bfs_queue.reserve(num_vertices);
+  }
 };
 
 /// Executes one walk. `base` must be a valid layering of g within

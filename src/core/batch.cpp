@@ -1,0 +1,185 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace acolay::core {
+
+BatchSolver::BatchSolver(BatchOptions options)
+    : options_(options),
+      pool_(options.num_threads <= 0
+                ? 0
+                : static_cast<std::size_t>(options.num_threads)) {
+  worker_ws_.resize(pool_.num_threads());
+}
+
+BatchSolver::~BatchSolver() {
+  // ThreadPool's destructor drains the remaining queue before joining, so
+  // every admitted job still runs; nothing to do beyond member order
+  // (pool_ is destroyed first).
+}
+
+BatchJobId BatchSolver::submit(const graph::Digraph& g,
+                               const AcoParams& params) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "BatchSolver requires DAG inputs");
+  AcoParams effective = params;
+  const BatchJobId id = jobs_.size();
+  if (options_.derive_seeds) {
+    effective.seed = params.seed + static_cast<std::uint64_t>(id);
+  }
+  validate_aco_params(effective);
+
+  // Admission: freeze the CSR snapshot (Job's constructor) and publish the
+  // new high-water dimensions before the job can run. Single writer (the
+  // owning thread), so a plain load-compare-store suffices.
+  jobs_.emplace_back(g, effective);
+  if (g.num_vertices() > max_vertices_.load(std::memory_order_relaxed)) {
+    max_vertices_.store(g.num_vertices(), std::memory_order_relaxed);
+  }
+  const auto ants = static_cast<std::size_t>(effective.num_ants);
+  if (ants > max_ants_.load(std::memory_order_relaxed)) {
+    max_ants_.store(ants, std::memory_order_relaxed);
+  }
+
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  pool_.submit([this, &job = jobs_.back()] { run_job(job); });
+  return id;
+}
+
+void BatchSolver::run_job(Job& job) {
+  try {
+    const std::size_t worker = support::ThreadPool::worker_index();
+    ACOLAY_CHECK_MSG(worker < worker_ws_.size(),
+                     "batch job running outside the solver's pool");
+    ColonyWorkspace& ws = worker_ws_[worker];
+    // Size the worker's pools to the largest admitted graph: the stretched
+    // layer count never exceeds the vertex count, so (n, n) bounds both
+    // axes. Monotonic, so steady state performs no allocation here.
+    const std::size_t n = max_vertices_.load(std::memory_order_relaxed);
+    ws.reserve(max_ants_.load(std::memory_order_relaxed), n, n);
+    job.result = run_colony(*job.g, job.csr, job.params, ws,
+                            /*ant_pool=*/nullptr);
+  } catch (...) {
+    job.error = std::current_exception();
+  }
+  {
+    // The lock pairs with the condition-variable waits in wait()/wait_all:
+    // without it a waiter could check `finished`, lose the race to this
+    // store + notify, and then sleep forever.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.finished.store(true, std::memory_order_release);
+    unfinished_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  job_finished_.notify_all();
+}
+
+const BatchSolver::Job& BatchSolver::job_at(BatchJobId id) const {
+  ACOLAY_CHECK_MSG(id < jobs_.size(), "unknown batch job id " << id);
+  return jobs_[id];
+}
+
+BatchSolver::Job& BatchSolver::job_at(BatchJobId id) {
+  ACOLAY_CHECK_MSG(id < jobs_.size(), "unknown batch job id " << id);
+  return jobs_[id];
+}
+
+void BatchSolver::await_job(Job& job, BatchJobId id) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_finished_.wait(lock, [&job] {
+      return job.finished.load(std::memory_order_acquire);
+    });
+  }
+  ACOLAY_CHECK_MSG(!job.collected,
+                   "batch job " << id << " was already collected");
+}
+
+std::size_t BatchSolver::num_jobs() const { return jobs_.size(); }
+
+bool BatchSolver::done(BatchJobId id) const {
+  return job_at(id).finished.load(std::memory_order_acquire);
+}
+
+const AcoResult* BatchSolver::poll(BatchJobId id) const {
+  const Job& job = job_at(id);
+  if (!job.finished.load(std::memory_order_acquire)) return nullptr;
+  // Collected-guard first, matching wait()/collect(): a double-collect
+  // programming error must not resurface as the job's stale failure.
+  ACOLAY_CHECK_MSG(!job.collected,
+                   "batch job " << id << " was already collected");
+  if (job.error) std::rethrow_exception(job.error);
+  return &job.result;
+}
+
+const AcoResult& BatchSolver::wait(BatchJobId id) {
+  Job& job = job_at(id);
+  await_job(job, id);
+  if (job.error) std::rethrow_exception(job.error);
+  return job.result;
+}
+
+AcoResult BatchSolver::collect(BatchJobId id) {
+  Job& job = job_at(id);
+  await_job(job, id);
+  job.collected = true;
+  AcoResult result = std::move(job.result);
+  // Shed everything sized by the graph — on failure too, so an errored
+  // job on the serving path cannot pin its snapshot forever. The record
+  // that stays behind is O(1), keeping a long-lived solver bounded.
+  job.result = AcoResult{};
+  job.csr = graph::CsrView{};
+  job.g = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+  return result;
+}
+
+void BatchSolver::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_finished_.wait(lock, [this] {
+    return unfinished_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::vector<AcoResult> BatchSolver::solve_all(
+    std::span<const graph::Digraph> graphs, const AcoParams& params) {
+  std::vector<BatchJobId> ids;
+  ids.reserve(graphs.size());
+  for (const graph::Digraph& g : graphs) ids.push_back(submit(g, params));
+  std::vector<AcoResult> results;
+  results.reserve(ids.size());
+  // collect(), not wait(): moves each result out and sheds the job's CSR
+  // snapshot as soon as it is harvested, so the run peaks at one copy of
+  // the result set instead of two.
+  for (const BatchJobId id : ids) results.push_back(collect(id));
+  return results;
+}
+
+std::vector<AcoResult> BatchSolver::solve_all(
+    std::span<const graph::Digraph> graphs,
+    std::span<const AcoParams> params) {
+  ACOLAY_CHECK_MSG(params.size() == graphs.size(),
+                   "solve_all needs one AcoParams per graph: "
+                       << params.size() << " params for " << graphs.size()
+                       << " graphs");
+  std::vector<BatchJobId> ids;
+  ids.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    ids.push_back(submit(graphs[i], params[i]));
+  }
+  std::vector<AcoResult> results;
+  results.reserve(ids.size());
+  for (const BatchJobId id : ids) results.push_back(collect(id));
+  return results;
+}
+
+std::vector<AcoResult> solve_batch(std::span<const graph::Digraph> graphs,
+                                   const AcoParams& params,
+                                   const BatchOptions& options) {
+  BatchSolver solver(options);
+  return solver.solve_all(graphs, params);
+}
+
+}  // namespace acolay::core

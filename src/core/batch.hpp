@@ -1,0 +1,171 @@
+// BatchSolver: many independent layering requests, one colony each, solved
+// concurrently — the scaling lever *across* graphs that complements PR 3's
+// allocation-free single walk (parallelism inside a walk is off the table:
+// the walk is sequential by construction).
+//
+// Design:
+//  * admission (submit): the graph is validated (DAG, parameter ranges)
+//    and one frozen graph::CsrView is built up front; the colony later
+//    runs entirely against that snapshot.
+//  * scheduling: every job is one whole-colony task on the shared
+//    support::ThreadPool; the colony's ants run serially inside the task
+//    (the pool forbids nested parallelism, and colony results are
+//    thread-count invariant by design), so N jobs on K workers give
+//    near-linear corpus throughput with zero cross-job synchronisation.
+//  * determinism: a job's result depends only on (graph, effective
+//    params). Effective seeds are derived at admission (optionally
+//    params.seed + job id), never from scheduling, so a batch is
+//    bit-identical to N sequential AntColony::run() calls at any thread
+//    count and under any submission-order permutation of the same jobs.
+//  * workspace pooling: each pool worker owns one ColonyWorkspace, keyed
+//    by support::ThreadPool::worker_index() and grown to the largest
+//    admitted graph, so steady-state batch throughput is allocation-free
+//    in the tour/walk inner loop. Workspaces carry no state across runs
+//    beyond buffer capacity (pinned by tests/determinism_test.cpp), so
+//    worker-keying cannot leak one graph's search into another's.
+//
+// The API is submit/poll/wait for request-at-a-time serving plus a
+// blocking solve_all for whole-corpus workloads. The solver itself is
+// externally synchronised: submit/poll/wait are called from the owning
+// thread; only result completion is shared with the workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "core/params.hpp"
+#include "graph/csr.hpp"
+#include "graph/digraph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace acolay::core {
+
+/// Handle for a submitted job: the 0-based submission index.
+using BatchJobId = std::size_t;
+
+struct BatchOptions {
+  /// Worker threads across colonies; 0 = hardware concurrency. Results
+  /// are bit-identical for any value (see tests/determinism_test.cpp).
+  int num_threads = 0;
+  /// Replace each job's seed with params.seed + job id at admission — the
+  /// harness convention for independent per-graph streams when one
+  /// AcoParams is shared across a corpus. Off by default: each job's
+  /// params are taken verbatim.
+  bool derive_seeds = false;
+};
+
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchOptions options = {});
+
+  /// Drains the queue: blocks until every submitted job has finished.
+  ~BatchSolver();
+
+  BatchSolver(const BatchSolver&) = delete;
+  BatchSolver& operator=(const BatchSolver&) = delete;
+
+  const BatchOptions& options() const { return options_; }
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Admits one layering request: validates `g` (must be a DAG) and the
+  /// params, freezes the CSR snapshot, derives the effective seed, and
+  /// schedules the colony. The caller keeps `g` alive until the job's
+  /// result has been collected (the solver stores a reference, not a
+  /// copy). Returns the job's id; results are retained until collect()
+  /// (or for the solver's lifetime under wait()/poll() alone — long-lived
+  /// solvers serving a request stream should collect()).
+  BatchJobId submit(const graph::Digraph& g, const AcoParams& params);
+
+  /// Jobs submitted so far (finished or not).
+  std::size_t num_jobs() const;
+
+  /// Whether job `id` has finished (successfully or with an error).
+  bool done(BatchJobId id) const;
+
+  /// Non-blocking: the job's result once finished, nullptr while it is
+  /// still queued or running. Rethrows the job's error if it failed.
+  const AcoResult* poll(BatchJobId id) const;
+
+  /// Blocks until job `id` finishes; returns its result (owned by the
+  /// solver). Rethrows the job's error if it failed.
+  const AcoResult& wait(BatchJobId id);
+
+  /// Like wait(), but moves the result out and releases the job's frozen
+  /// CSR snapshot and graph reference — the long-running serving path: a
+  /// collected job keeps only its small record, so a solver fed an
+  /// unbounded request stream does not accumulate snapshots and
+  /// layerings (and the caller may drop the graph afterwards). A failed
+  /// job's state is released too, before its error is rethrown. A
+  /// collected job stays done(); poll/wait/collect on it throw.
+  AcoResult collect(BatchJobId id);
+
+  /// Blocks until every submitted job has finished. Does not rethrow job
+  /// errors — collect those per job via wait()/poll().
+  void wait_all();
+
+  /// Blocking convenience: submits every graph with `params` (seeds
+  /// derived per job when options().derive_seeds) and returns the results
+  /// in input order.
+  std::vector<AcoResult> solve_all(std::span<const graph::Digraph> graphs,
+                                   const AcoParams& params);
+
+  /// Per-graph-params variant; `params.size()` must equal `graphs.size()`.
+  std::vector<AcoResult> solve_all(std::span<const graph::Digraph> graphs,
+                                   std::span<const AcoParams> params);
+
+ private:
+  struct Job {
+    Job(const graph::Digraph& graph, const AcoParams& p)
+        : g(&graph), params(p), csr(graph) {}
+
+    const graph::Digraph* g;
+    AcoParams params;     ///< effective params (seed already derived)
+    graph::CsrView csr;   ///< frozen at admission, released by collect()
+    AcoResult result;
+    std::exception_ptr error;
+    bool collected = false;  ///< result moved out, snapshot released
+    std::atomic<bool> finished{false};
+  };
+
+  void run_job(Job& job);
+  const Job& job_at(BatchJobId id) const;
+  Job& job_at(BatchJobId id);
+  /// Blocks until `job` finishes and rejects already-collected jobs
+  /// (shared by wait/collect; error rethrow stays with the callers so
+  /// collect can release a failed job's state first).
+  void await_job(Job& job, BatchJobId id);
+
+  BatchOptions options_;
+  /// Job records; deque for stable addresses (workers hold references
+  /// across later submits). Mutated only by the owning thread.
+  std::deque<Job> jobs_;
+  /// One workspace per pool worker, indexed by ThreadPool::worker_index().
+  std::vector<ColonyWorkspace> worker_ws_;
+  /// High-water dimensions over all admitted graphs; workers read these to
+  /// size their workspace to the largest admitted graph before each run.
+  std::atomic<std::size_t> max_vertices_{0};
+  std::atomic<std::size_t> max_ants_{0};
+  /// Jobs submitted but not yet finished — keeps wait_all's wake-up
+  /// predicate O(1) instead of rescanning every job record ever made.
+  std::atomic<std::size_t> unfinished_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable job_finished_;
+  /// Declared last: destroyed (drained + joined) first, so no worker can
+  /// outlive the job records or workspaces above.
+  support::ThreadPool pool_;
+};
+
+/// One-shot convenience: batch-solves every graph with `params` and
+/// returns the results in input order.
+std::vector<AcoResult> solve_batch(std::span<const graph::Digraph> graphs,
+                                   const AcoParams& params,
+                                   const BatchOptions& options = {});
+
+}  // namespace acolay::core

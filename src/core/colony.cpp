@@ -14,41 +14,53 @@
 
 namespace acolay::core {
 
-AntColony::AntColony(const graph::Digraph& g, AcoParams params)
-    : g_(g), params_(params) {
-  ACOLAY_CHECK_MSG(graph::is_dag(g), "AntColony requires a DAG");
-  ACOLAY_CHECK(params_.num_ants >= 1);
-  ACOLAY_CHECK(params_.num_tours >= 0);
-  ACOLAY_CHECK(params_.alpha >= 0.0);
-  ACOLAY_CHECK(params_.beta >= 0.0);
-  ACOLAY_CHECK(params_.rho >= 0.0 && params_.rho <= 1.0);
-  ACOLAY_CHECK(params_.dummy_width >= 0.0);
-  ACOLAY_CHECK(params_.eta_epsilon > 0.0);
+void validate_aco_params(const AcoParams& params) {
+  ACOLAY_CHECK(params.num_ants >= 1);
+  ACOLAY_CHECK(params.num_tours >= 0);
+  ACOLAY_CHECK(params.alpha >= 0.0);
+  ACOLAY_CHECK(params.beta >= 0.0);
+  ACOLAY_CHECK(params.rho >= 0.0 && params.rho <= 1.0);
+  ACOLAY_CHECK(params.dummy_width >= 0.0);
+  ACOLAY_CHECK(params.eta_epsilon > 0.0);
+  // Ranges the run would only trip over mid-search (PheromoneMatrix /
+  // deposit / clamp contract checks) fail fast here instead, so
+  // BatchSolver::submit's validate-at-admission promise holds for every
+  // parameter.
+  ACOLAY_CHECK(params.tau0 > 0.0);
+  ACOLAY_CHECK(params.deposit >= 0.0);
+  ACOLAY_CHECK(params.tau_min <= params.tau_max);
 }
 
-AcoResult AntColony::run() {
+void ColonyWorkspace::reserve(std::size_t num_ants, std::size_t num_vertices,
+                              std::size_t num_layers) {
+  if (ants.size() < num_ants) ants.resize(num_ants);
+  if (walks.size() < num_ants) walks.resize(num_ants);
+  tau.reserve(num_vertices, static_cast<int>(num_layers));
+  for (auto& ant : ants) ant.reserve(num_vertices, num_layers);
+}
+
+AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
+                     const AcoParams& params, ColonyWorkspace& ws,
+                     support::ThreadPool* ant_pool) {
   support::Stopwatch stopwatch;
   AcoResult result;
-  const auto n = g_.num_vertices();
+  const auto n = g.num_vertices();
   if (n == 0) {
     result.layering = layering::Layering(0);
     return result;
   }
 
   // --- Initialisation phase (Alg. 3) -------------------------------------
-  // One frozen CSR snapshot serves every walk and metrics evaluation of
-  // the run: the ants only read the topology.
-  const graph::CsrView csr(g_);
-  const auto lpl = baselines::longest_path_layering(g_);
-  auto stretched = stretch_layering(g_, lpl, params_.stretch);
+  const auto lpl = baselines::longest_path_layering(g);
+  auto stretched = stretch_layering(g, lpl, params.stretch);
   const int num_layers = std::max(stretched.num_layers, 1);
 
-  const layering::MetricsOptions metric_opts{params_.dummy_width};
+  const layering::MetricsOptions metric_opts{params.dummy_width};
   result.initial_objective = layering::layering_objective(
-      g_, layering::normalized(stretched.layering), metric_opts);
+      g, layering::normalized(stretched.layering), metric_opts);
 
-  PheromoneMatrix tau(n, num_layers, params_.tau0);
-  support::Rng root(params_.seed);
+  ws.tau.reset(n, num_layers, params.tau0);
+  support::Rng root(params.seed);
 
   // Global best across tours. Starts as the stretched LPL layering but is
   // replaced by the first tour's best walk: the paper reports the ants'
@@ -56,7 +68,7 @@ AcoResult AntColony::run() {
   // max(start, walks) — see Fig. 6's "20 to 30% higher than LPL".
   layering::Layering best_layering = stretched.layering;
   layering::LayeringMetrics best_metrics = layering::compute_metrics(
-      g_, layering::normalized(best_layering), metric_opts);
+      g, layering::normalized(best_layering), metric_opts);
   bool have_walk_result = false;
   double best_objective = 0.0;
 
@@ -64,45 +76,49 @@ AcoResult AntColony::run() {
   // predecessor").
   layering::Layering base = stretched.layering;
 
-  const auto num_ants = static_cast<std::size_t>(params_.num_ants);
-  std::vector<WalkResult> walks(num_ants);
-  // One workspace per ant slot, reused across all tours: walks allocate
-  // only until every buffer reaches its high-water size (steady state is
-  // allocation-free). Slot i is only ever touched by the task running ant
-  // i, so the workspaces need no synchronisation, and keying by ant rather
-  // than by worker thread keeps results independent of scheduling.
-  if (workspaces_.size() < num_ants) workspaces_.resize(num_ants);
-
-  support::ThreadPool pool(params_.num_threads <= 0
-                               ? 0
-                               : static_cast<std::size_t>(params_.num_threads));
+  const auto num_ants = static_cast<std::size_t>(params.num_ants);
+  // One workspace and result slot per ant, reused across all tours (and
+  // across runs — buffers only ever grow): walks allocate only until every
+  // buffer reaches its high-water size, so steady state is allocation-free.
+  // Slot i is only ever touched by the task running ant i, so the slots
+  // need no synchronisation, and keying by ant rather than by worker
+  // thread keeps results independent of scheduling.
+  if (ws.ants.size() < num_ants) ws.ants.resize(num_ants);
+  if (ws.walks.size() < num_ants) ws.walks.resize(num_ants);
 
   // --- Layering phase (Alg. 4) --------------------------------------------
   int stagnant_tours = 0;
-  for (int tour = 1; tour <= params_.num_tours; ++tour) {
-    support::parallel_for(pool, num_ants, [&](std::size_t ant) {
-      perform_walk(csr, base, num_layers, tau, params_,
+  for (int tour = 1; tour <= params.num_tours; ++tour) {
+    const auto walk_body = [&](std::size_t ant) {
+      perform_walk(csr, base, num_layers, ws.tau, params,
                    root.fork(static_cast<std::uint64_t>(tour), ant),
-                   workspaces_[ant], walks[ant]);
-    });
+                   ws.ants[ant], ws.walks[ant]);
+    };
+    if (ant_pool != nullptr) {
+      support::parallel_for(*ant_pool, num_ants, walk_body);
+    } else {
+      for (std::size_t ant = 0; ant < num_ants; ++ant) walk_body(ant);
+    }
 
     // Tour-best ant: max objective, ties to the lowest index (deterministic
     // reduction regardless of scheduling).
     std::size_t best_ant = 0;
     for (std::size_t ant = 1; ant < num_ants; ++ant) {
-      if (walks[ant].objective > walks[best_ant].objective) best_ant = ant;
+      if (ws.walks[ant].objective > ws.walks[best_ant].objective) {
+        best_ant = ant;
+      }
     }
-    const WalkResult& tour_best = walks[best_ant];
+    const WalkResult& tour_best = ws.walks[best_ant];
 
-    if (params_.record_trace) {
+    if (params.record_trace) {
       TourStats stats;
       stats.tour = tour;
       stats.best_objective = tour_best.objective;
       double sum = 0.0;
       int moves = 0;
-      for (const auto& walk : walks) {
-        sum += walk.objective;
-        moves += walk.moves;
+      for (std::size_t ant = 0; ant < num_ants; ++ant) {
+        sum += ws.walks[ant].objective;
+        moves += ws.walks[ant].moves;
       }
       stats.mean_objective = sum / static_cast<double>(num_ants);
       stats.best_width = tour_best.metrics.width_incl_dummies;
@@ -113,14 +129,14 @@ AcoResult AntColony::run() {
     }
 
     // Evaporation + tour-best deposit (Alg. 4 lines 16–17).
-    tau.evaporate(params_.rho);
-    const double amount = params_.deposit * tour_best.objective;
+    ws.tau.evaporate(params.rho);
+    const double amount = params.deposit * tour_best.objective;
     for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
-      tau.deposit(v, tour_best.layering.layer(v), amount);
+      ws.tau.deposit(v, tour_best.layering.layer(v), amount);
     }
-    if (params_.tau_min > 0.0 ||
-        params_.tau_max < std::numeric_limits<double>::infinity()) {
-      tau.clamp(params_.tau_min, params_.tau_max);
+    if (params.tau_min > 0.0 ||
+        params.tau_max < std::numeric_limits<double>::infinity()) {
+      ws.tau.clamp(params.tau_min, params.tau_max);
     }
 
     // The tour-best layering (hence its width profile / heuristic state)
@@ -136,13 +152,15 @@ AcoResult AntColony::run() {
 
     // Stagnation handling (acolay extension; kNone = paper behaviour).
     int tour_moves = 0;
-    for (const auto& walk : walks) tour_moves += walk.moves;
+    for (std::size_t ant = 0; ant < num_ants; ++ant) {
+      tour_moves += ws.walks[ant].moves;
+    }
     stagnant_tours = tour_moves == 0 ? stagnant_tours + 1 : 0;
-    if (params_.stagnation != StagnationPolicy::kNone &&
-        stagnant_tours >= params_.stagnation_tours) {
-      if (params_.stagnation == StagnationPolicy::kStop) break;
+    if (params.stagnation != StagnationPolicy::kNone &&
+        stagnant_tours >= params.stagnation_tours) {
+      if (params.stagnation == StagnationPolicy::kStop) break;
       // kResetPheromone: wipe the trail so the heuristic term re-explores.
-      tau = PheromoneMatrix(n, num_layers, params_.tau0);
+      ws.tau.reset(n, num_layers, params.tau0);
       stagnant_tours = 0;
     }
   }
@@ -151,6 +169,31 @@ AcoResult AntColony::run() {
   result.metrics = best_metrics;
   result.seconds = stopwatch.elapsed_seconds();
   return result;
+}
+
+AntColony::AntColony(const graph::Digraph& g, AcoParams params)
+    : g_(g), params_(params) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "AntColony requires a DAG");
+  validate_aco_params(params_);
+}
+
+AcoResult AntColony::run() {
+  if (g_.num_vertices() == 0) {
+    return run_colony(g_, graph::CsrView{}, params_, ws_, nullptr);
+  }
+  // One frozen CSR snapshot serves every walk and metrics evaluation of
+  // the run: the ants only read the topology.
+  const graph::CsrView csr(g_);
+  if (params_.num_threads == 1) {
+    // Serial ants need no pool; spawning a one-worker pool here would
+    // create and join an OS thread that parallel_for's single-thread
+    // shortcut never hands a walk anyway.
+    return run_colony(g_, csr, params_, ws_, nullptr);
+  }
+  support::ThreadPool pool(params_.num_threads <= 0
+                               ? 0
+                               : static_cast<std::size_t>(params_.num_threads));
+  return run_colony(g_, csr, params_, ws_, &pool);
 }
 
 layering::Layering aco_layering(const graph::Digraph& g,

@@ -16,13 +16,20 @@
 // tie-breaking, making the result bit-identical for any thread count.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/ant.hpp"
 #include "core/params.hpp"
+#include "core/pheromone.hpp"
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "layering/layering.hpp"
 #include "layering/metrics.hpp"
+
+namespace acolay::support {
+class ThreadPool;
+}  // namespace acolay::support
 
 namespace acolay::core {
 
@@ -51,6 +58,44 @@ struct AcoResult {
   double initial_objective = 0.0;
 };
 
+/// Validates the AcoParams ranges every colony entry point requires
+/// (AntColony's constructor and BatchSolver::submit). Throws
+/// support::CheckError on the first violated bound.
+void validate_aco_params(const AcoParams& params);
+
+/// A whole colony's reusable working set: one WalkWorkspace per ant slot,
+/// the per-ant walk results the tour reduction reads, and the pheromone
+/// matrix — everything run_colony resets in place, so a workspace reused
+/// across runs (AntColony reruns, or BatchSolver's per-worker pools)
+/// allocates only until each buffer reaches its high-water size.
+struct ColonyWorkspace {
+  std::vector<WalkWorkspace> ants;
+  std::vector<WalkResult> walks;
+  PheromoneMatrix tau;
+
+  /// Pre-grows every buffer for colonies of up to `num_ants` ants over
+  /// graphs of up to `num_vertices` vertices and `num_layers` layers
+  /// (BatchSolver sizes worker workspaces to the largest admitted graph;
+  /// the stretched layer count never exceeds the vertex count). Monotonic
+  /// and idempotent; never shrinks.
+  void reserve(std::size_t num_ants, std::size_t num_vertices,
+               std::size_t num_layers);
+};
+
+/// The colony engine behind AntColony::run() and BatchSolver: runs the
+/// full search (paper runColony()) over a frozen CSR snapshot of `g`, with
+/// all reusable state in `ws`. When `ant_pool` is non-null the ants of a
+/// tour are distributed over it; null runs them serially on the calling
+/// thread — bit-identical either way (per-(tour, ant) RNG streams, index
+/// reduction), which is what lets BatchSolver run whole colonies as
+/// single-threaded pool tasks.
+///
+/// Preconditions (validated by the public entry points): `g` is a DAG,
+/// `csr` is a snapshot of `g`, and `params` passes validate_aco_params.
+AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
+                     const AcoParams& params, ColonyWorkspace& ws,
+                     support::ThreadPool* ant_pool);
+
 class AntColony {
  public:
   /// Requires a DAG.
@@ -64,9 +109,9 @@ class AntColony {
  private:
   const graph::Digraph& g_;
   AcoParams params_;
-  /// Per-ant-slot walk workspaces, reused across tours (and across run()
-  /// calls) so the steady-state inner loop is allocation-free.
-  std::vector<WalkWorkspace> workspaces_;
+  /// Whole-colony workspace, reused across run() calls so the steady-state
+  /// inner loop is allocation-free.
+  ColonyWorkspace ws_;
 };
 
 /// Convenience wrapper: runs a colony and returns only the layering.

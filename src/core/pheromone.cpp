@@ -5,13 +5,19 @@
 namespace acolay::core {
 
 PheromoneMatrix::PheromoneMatrix(std::size_t num_vertices, int num_layers,
-                                 double tau0)
-    : vertices_(num_vertices),
-      layers_(num_layers),
-      tau_(num_vertices * static_cast<std::size_t>(std::max(num_layers, 0)),
-           tau0) {
+                                 double tau0) {
+  reset(num_vertices, num_layers, tau0);
+}
+
+void PheromoneMatrix::reset(std::size_t num_vertices, int num_layers,
+                            double tau0) {
   ACOLAY_CHECK(num_layers >= 0);
   ACOLAY_CHECK_MSG(tau0 > 0.0, "tau0 must be positive");
+  vertices_ = num_vertices;
+  layers_ = num_layers;
+  tau_.assign(
+      num_vertices * static_cast<std::size_t>(std::max(num_layers, 0)),
+      tau0);
 }
 
 void PheromoneMatrix::evaporate(double rho) {

@@ -8,6 +8,7 @@
 // standard remedy and is exercised by the ablation bench).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -17,8 +18,24 @@ namespace acolay::core {
 
 class PheromoneMatrix {
  public:
+  /// An empty 0 x 0 matrix; fill with reset() before use.
+  PheromoneMatrix() = default;
+
   /// num_vertices x num_layers matrix, all entries tau0.
   PheromoneMatrix(std::size_t num_vertices, int num_layers, double tau0);
+
+  /// Re-initialises to a num_vertices x num_layers matrix of tau0, reusing
+  /// the existing buffer where capacity allows — the per-colony-run (and
+  /// MAX-MIN restart) path of the batch solver, allocation-free once the
+  /// buffer has reached its high-water size. Produces exactly the values
+  /// the constructor would.
+  void reset(std::size_t num_vertices, int num_layers, double tau0);
+
+  /// Pre-grows the buffer for a num_vertices x num_layers matrix.
+  void reserve(std::size_t num_vertices, int num_layers) {
+    tau_.reserve(num_vertices *
+                 static_cast<std::size_t>(std::max(num_layers, 0)));
+  }
 
   std::size_t num_vertices() const { return vertices_; }
   int num_layers() const { return layers_; }
@@ -67,8 +84,8 @@ class PheromoneMatrix {
     return offset_unchecked(v, layer);
   }
 
-  std::size_t vertices_;
-  int layers_;
+  std::size_t vertices_ = 0;
+  int layers_ = 0;
   std::vector<double> tau_;
 };
 

@@ -21,6 +21,7 @@
 // against the from-scratch layer_width_profile in property tests.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -45,6 +46,14 @@ class LayerWidths {
   /// widths the constructor would.
   void reset(const graph::CsrView& g, const Layering& l, int num_layers,
              double dummy_width);
+
+  /// Pre-grows the buffers for profiles of up to `num_layers` layers (the
+  /// batch solver sizes worker workspaces to the largest admitted graph).
+  void reserve(int num_layers) {
+    const auto layers = static_cast<std::size_t>(std::max(num_layers, 0));
+    width_.reserve(layers);
+    diff_.reserve(layers + 1);
+  }
 
   int num_layers() const { return static_cast<int>(width_.size()); }
   double dummy_width() const { return dummy_width_; }

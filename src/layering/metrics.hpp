@@ -145,6 +145,15 @@ struct MetricsWorkspace {
   std::vector<double> width_real; ///< per-layer width excl. dummies
   std::vector<double> dummy_diff; ///< dummy-width difference array
   std::vector<std::int64_t> gap_diff;  ///< edges-per-gap difference array
+
+  /// Pre-grows every buffer for layerings of up to `num_layers` layers.
+  void reserve(std::size_t num_layers) {
+    remap.reserve(num_layers + 1);
+    width.reserve(num_layers);
+    width_real.reserve(num_layers);
+    dummy_diff.reserve(num_layers + 1);
+    gap_diff.reserve(num_layers + 1);
+  }
 };
 
 /// Fused single-pass compute_metrics: one scan over the CSR edge array and

@@ -48,6 +48,9 @@ class SpanTable {
   /// per-walk initialisation of the ACO hot path.
   void reset(const graph::CsrView& g, const Layering& l, int num_layers);
 
+  /// Pre-grows the table for graphs of up to `num_vertices` vertices.
+  void reserve(std::size_t num_vertices) { spans_.reserve(num_vertices); }
+
   const LayerSpan& span(graph::VertexId v) const {
     return spans_[static_cast<std::size_t>(v)];
   }

@@ -6,13 +6,22 @@
 
 namespace acolay::support {
 
+namespace {
+// Written once per worker thread before it processes any task; read by
+// ThreadPool::worker_index(). thread_local, so a worker of one pool nested
+// inside another thread's scope can never observe a foreign index.
+thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+std::size_t ThreadPool::worker_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -46,7 +55,8 @@ void ThreadPool::wait() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
   for (;;) {
     std::function<void()> task;
     {

@@ -38,6 +38,17 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Sentinel returned by worker_index() on threads that are not pool
+  /// workers (e.g. the thread that constructed the pool).
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// Index of the calling thread within the pool running it: workers are
+  /// numbered 0..num_threads()-1, stable for the pool's lifetime. Callers
+  /// (e.g. core::BatchSolver) key per-worker scratch state by this index
+  /// so tasks on the same worker reuse one warm workspace without
+  /// synchronisation. Returns kNotAWorker outside a worker thread.
+  static std::size_t worker_index();
+
   /// Enqueues a task. Tasks may not themselves call submit/wait on the same
   /// pool (no nested parallelism).
   void submit(std::function<void()> task);
@@ -47,7 +58,7 @@ class ThreadPool {
   void wait();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

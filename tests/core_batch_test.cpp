@@ -1,0 +1,272 @@
+// core::BatchSolver: API contract, equivalence to the sequential
+// AntColony::run() loop it is documented to be bit-identical to, and the
+// per-worker workspace pooling (no cross-graph leakage, no state carried
+// between jobs beyond buffer capacity). Thread-count and permutation
+// determinism at corpus scale lives in tests/determinism_test.cpp.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/colony.hpp"
+#include "layering/layering.hpp"
+#include "support/check.hpp"
+#include "test_util.hpp"
+
+namespace acolay {
+namespace {
+
+core::AcoParams small_params(std::uint64_t seed = 42) {
+  core::AcoParams params;
+  params.num_ants = 4;
+  params.num_tours = 4;
+  params.seed = seed;
+  return params;
+}
+
+/// Full-result equality: layering, metrics doubles, and the per-tour
+/// trace (same search path, not merely the same endpoint).
+void expect_same_result(const core::AcoResult& a, const core::AcoResult& b) {
+  EXPECT_EQ(a.layering, b.layering);
+  EXPECT_EQ(a.metrics.objective, b.metrics.objective);
+  EXPECT_EQ(a.metrics.width_incl_dummies, b.metrics.width_incl_dummies);
+  EXPECT_EQ(a.metrics.width_excl_dummies, b.metrics.width_excl_dummies);
+  EXPECT_EQ(a.metrics.height, b.metrics.height);
+  EXPECT_EQ(a.metrics.dummy_count, b.metrics.dummy_count);
+  EXPECT_EQ(a.initial_objective, b.initial_objective);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t t = 0; t < a.trace.size(); ++t) {
+    EXPECT_EQ(a.trace[t].best_objective, b.trace[t].best_objective);
+    EXPECT_EQ(a.trace[t].mean_objective, b.trace[t].mean_objective);
+    EXPECT_EQ(a.trace[t].total_moves, b.trace[t].total_moves);
+  }
+}
+
+TEST(BatchSolver, SolveAllMatchesSequentialColonyLoop) {
+  const auto graphs = test::random_battery(8);
+  const auto params = small_params();
+
+  core::BatchSolver solver;
+  const auto batch = solver.solve_all(graphs, params);
+
+  ASSERT_EQ(batch.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto sequential = core::AntColony(graphs[i], params).run();
+    expect_same_result(batch[i], sequential);
+  }
+}
+
+TEST(BatchSolver, PerGraphParamsVariantMatchesSequentialLoop) {
+  const auto graphs = test::random_battery(6);
+  std::vector<core::AcoParams> params;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    auto p = small_params(100 + i);
+    p.num_ants = 2 + static_cast<int>(i % 3);
+    params.push_back(p);
+  }
+
+  core::BatchSolver solver;
+  const auto batch = solver.solve_all(graphs, params);
+
+  ASSERT_EQ(batch.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto sequential = core::AntColony(graphs[i], params[i]).run();
+    expect_same_result(batch[i], sequential);
+  }
+}
+
+TEST(BatchSolver, SubmitPollWaitLifecycle) {
+  const auto graphs = test::random_battery(5);
+  core::BatchSolver solver;
+
+  std::vector<core::BatchJobId> ids;
+  for (const auto& g : graphs) ids.push_back(solver.submit(g, small_params()));
+  EXPECT_EQ(solver.num_jobs(), graphs.size());
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& result = solver.wait(ids[i]);
+    EXPECT_TRUE(solver.done(ids[i]));
+    // poll after completion returns the same stored result.
+    const auto* polled = solver.poll(ids[i]);
+    ASSERT_NE(polled, nullptr);
+    EXPECT_EQ(polled, &result);
+    EXPECT_TRUE(layering::is_valid_layering(graphs[i], result.layering));
+  }
+}
+
+TEST(BatchSolver, WaitAllFinishesEveryJob) {
+  const auto graphs = test::random_battery(6);
+  core::BatchSolver solver;
+  std::vector<core::BatchJobId> ids;
+  for (const auto& g : graphs) ids.push_back(solver.submit(g, small_params()));
+  solver.wait_all();
+  for (const auto id : ids) EXPECT_TRUE(solver.done(id));
+}
+
+TEST(BatchSolver, DeriveSeedsMatchesManualDerivation) {
+  const auto graphs = test::random_battery(5);
+  const auto base = small_params(7000);
+
+  core::BatchSolver solver(core::BatchOptions{0, /*derive_seeds=*/true});
+  const auto batch = solver.solve_all(graphs, base);
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    auto derived = base;
+    derived.seed = base.seed + i;
+    const auto sequential = core::AntColony(graphs[i], derived).run();
+    expect_same_result(batch[i], sequential);
+  }
+}
+
+TEST(BatchSolver, ResultsStableUnderSubmissionOrderPermutation) {
+  const auto graphs = test::random_battery(7);
+  core::BatchSolver forward;
+  core::BatchSolver backward;
+
+  std::vector<core::BatchJobId> forward_ids;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    forward_ids.push_back(forward.submit(graphs[i], small_params(10 + i)));
+  }
+  std::vector<core::BatchJobId> backward_ids(graphs.size());
+  for (std::size_t i = graphs.size(); i-- > 0;) {
+    backward_ids[i] = backward.submit(graphs[i], small_params(10 + i));
+  }
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    expect_same_result(forward.wait(forward_ids[i]),
+                       backward.wait(backward_ids[i]));
+  }
+}
+
+TEST(BatchSolver, WorkspaceReuseHasNoCrossGraphLeakage) {
+  // One solver's workers carry their (warm) workspaces from job to job;
+  // re-submitting a graph after the workspaces have been dirtied by other
+  // graphs must reproduce the cold-solver result bit for bit.
+  const auto graphs = test::random_battery(6);
+  const auto& probe = graphs.front();
+  const auto params = small_params(5);
+
+  core::BatchSolver cold;
+  const auto reference = cold.wait(cold.submit(probe, params));
+
+  core::BatchSolver warm;
+  const auto first = warm.submit(probe, params);
+  std::vector<core::BatchJobId> dirty;
+  for (std::size_t i = 1; i < graphs.size(); ++i) {
+    dirty.push_back(warm.submit(graphs[i], params));
+  }
+  const auto again = warm.submit(probe, params);
+  expect_same_result(warm.wait(first), reference);
+  expect_same_result(warm.wait(again), reference);
+  for (const auto id : dirty) warm.wait(id);  // all must still finish
+}
+
+TEST(BatchSolver, CollectMovesTheResultAndReleasesTheJob) {
+  const auto graphs = test::random_battery(4);
+  const auto params = small_params(8);
+  core::BatchSolver reference_solver;
+  core::BatchSolver solver;
+
+  std::vector<core::BatchJobId> ids;
+  for (const auto& g : graphs) ids.push_back(solver.submit(g, params));
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto collected = solver.collect(ids[i]);
+    const auto& reference =
+        reference_solver.wait(reference_solver.submit(graphs[i], params));
+    expect_same_result(collected, reference);
+    // The job stays done but its stored state is gone: wait/poll/collect
+    // on a collected job are contract violations, not silent empties.
+    EXPECT_TRUE(solver.done(ids[i]));
+    EXPECT_THROW(solver.poll(ids[i]), support::CheckError);
+    EXPECT_THROW(solver.wait(ids[i]), support::CheckError);
+    EXPECT_THROW(solver.collect(ids[i]), support::CheckError);
+  }
+  // Collecting early jobs must not disturb later ones.
+  const auto late = solver.submit(graphs.front(), params);
+  expect_same_result(solver.collect(late),
+                     reference_solver.wait(reference_solver.submit(
+                         graphs.front(), params)));
+}
+
+TEST(BatchSolver, RejectsCyclicGraphsAtAdmission) {
+  graph::Digraph cyclic(3);
+  cyclic.add_edge(0, 1);
+  cyclic.add_edge(1, 2);
+  cyclic.add_edge(2, 0);
+  core::BatchSolver solver;
+  EXPECT_THROW(solver.submit(cyclic, small_params()), support::CheckError);
+  EXPECT_EQ(solver.num_jobs(), 0u);
+}
+
+TEST(BatchSolver, RejectsInvalidParamsAtAdmission) {
+  const auto g = test::diamond();
+  core::BatchSolver solver;
+  auto params = small_params();
+  params.num_ants = 0;
+  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  params = small_params();
+  params.rho = 1.5;
+  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  // Mid-search contract ranges fail at admission too, not asynchronously.
+  params = small_params();
+  params.tau0 = 0.0;
+  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  params = small_params();
+  params.deposit = -1.0;
+  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  EXPECT_EQ(solver.num_jobs(), 0u);
+}
+
+TEST(BatchSolver, UnknownJobIdThrows) {
+  core::BatchSolver solver;
+  EXPECT_THROW(solver.done(0), support::CheckError);
+  EXPECT_THROW(solver.poll(3), support::CheckError);
+  EXPECT_THROW(solver.wait(1), support::CheckError);
+}
+
+TEST(BatchSolver, EmptyBatchAndEmptyGraph) {
+  core::BatchSolver solver;
+  const auto none =
+      solver.solve_all(std::span<const graph::Digraph>{}, small_params());
+  EXPECT_TRUE(none.empty());
+
+  const graph::Digraph empty;
+  const auto& result = solver.wait(solver.submit(empty, small_params()));
+  EXPECT_EQ(result.layering.num_vertices(), 0u);
+}
+
+TEST(BatchSolver, DestructorDrainsOutstandingJobs) {
+  // Destroying the solver with jobs still queued must block until they
+  // have run (the pool drains its queue), not abandon or crash them.
+  const auto graphs = test::random_battery(6);
+  {
+    core::BatchSolver solver(core::BatchOptions{2, false});
+    for (const auto& g : graphs) solver.submit(g, small_params());
+    // No wait: the destructor owns the drain.
+  }
+  SUCCEED();
+}
+
+TEST(BatchSolver, SolveAllSizeMismatchThrows) {
+  const auto graphs = test::random_battery(3);
+  std::vector<core::AcoParams> params(2, small_params());
+  core::BatchSolver solver;
+  EXPECT_THROW(solver.solve_all(graphs, params), support::CheckError);
+}
+
+TEST(SolveBatch, OneShotHelperMatchesSolver) {
+  const auto graphs = test::random_battery(4);
+  const auto params = small_params(99);
+  const auto helper = core::solve_batch(graphs, params);
+  core::BatchSolver solver;
+  const auto direct = solver.solve_all(graphs, params);
+  ASSERT_EQ(helper.size(), direct.size());
+  for (std::size_t i = 0; i < helper.size(); ++i) {
+    expect_same_result(helper[i], direct[i]);
+  }
+}
+
+}  // namespace
+}  // namespace acolay

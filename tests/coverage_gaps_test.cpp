@@ -1,6 +1,11 @@
 // Focused tests for corners not covered by the per-module suites:
 // graph/properties extras, generator parameter effects, the BFS vertex
 // order, and ACO parameter validation boundaries.
+//
+// Every test declares the symbol(s) it covers via COVERS(...): the scoped
+// trace puts the fully qualified symbol name into any assertion failure,
+// so a red run reads as a list of the uncovered (regressed) symbols
+// instead of bare file:line pairs.
 #include <gtest/gtest.h>
 
 #include "core/aco.hpp"
@@ -10,21 +15,28 @@
 #include "layering/metrics.hpp"
 #include "test_util.hpp"
 
+/// Names the symbol a test covers; on failure the assertion message lists
+/// it as "uncovered symbol: <name>".
+#define COVERS(symbol) SCOPED_TRACE("uncovered symbol: " symbol)
+
 namespace acolay {
 namespace {
 
 TEST(GraphProperties, SourceSinkPairsOnDiamond) {
+  COVERS("acolay::graph::source_sink_pairs");
   // One source (3), one sink (0), connected: exactly one pair.
   EXPECT_EQ(graph::source_sink_pairs(test::diamond()), 1u);
 }
 
 TEST(GraphProperties, SourceSinkPairsOnTwoChains) {
+  COVERS("acolay::graph::source_sink_pairs");
   // Chains {4->2->0} and {3->1}: sources {4,3}, sinks {0,1}; only
   // same-chain pairs are reachable.
   EXPECT_EQ(graph::source_sink_pairs(test::two_chains()), 2u);
 }
 
 TEST(GraphProperties, DagDepthMatchesLongestPath) {
+  COVERS("acolay::graph::dag_depth");
   EXPECT_EQ(graph::dag_depth(test::small_dag()), 3);
   EXPECT_EQ(graph::dag_depth(gen::path_dag(7)), 6);
   graph::Digraph flat(4);
@@ -32,6 +44,7 @@ TEST(GraphProperties, DagDepthMatchesLongestPath) {
 }
 
 TEST(Generators, RecencySkewDeepensTrees) {
+  COVERS("acolay::gen::random_north_dag (recency_skew)");
   // Skewed parent choice produces deeper growth DAGs on average.
   double uniform_depth = 0.0, skewed_depth = 0.0;
   for (int trial = 0; trial < 10; ++trial) {
@@ -48,6 +61,7 @@ TEST(Generators, RecencySkewDeepensTrees) {
 }
 
 TEST(Generators, NorthDagIsConnectedAcrossSizes) {
+  COVERS("acolay::gen::random_north_dag");
   support::Rng rng(4321);
   for (const std::size_t n : {2u, 3u, 5u, 10u, 50u, 150u}) {
     gen::NorthParams params;
@@ -61,6 +75,7 @@ TEST(Generators, NorthDagIsConnectedAcrossSizes) {
 }
 
 TEST(Generators, NorthDagDenseCornerClamps) {
+  COVERS("acolay::gen::random_north_dag (edge clamp)");
   support::Rng rng(1);
   gen::NorthParams params;
   params.num_vertices = 6;
@@ -71,6 +86,7 @@ TEST(Generators, NorthDagDenseCornerClamps) {
 }
 
 TEST(BfsOrderWalk, ValidAndDeterministic) {
+  COVERS("acolay::core::VertexOrder::kBfs");
   core::AcoParams params;
   params.order = core::VertexOrder::kBfs;
   params.num_ants = 5;
@@ -85,6 +101,7 @@ TEST(BfsOrderWalk, ValidAndDeterministic) {
 }
 
 TEST(BfsOrderWalk, DiffersFromRandomOrderSearch) {
+  COVERS("acolay::core::VertexOrder::kBfs vs kRandom");
   const auto g = test::random_battery(1, 3141).front();
   core::AcoParams bfs;
   bfs.order = core::VertexOrder::kBfs;
@@ -105,6 +122,7 @@ TEST(BfsOrderWalk, DiffersFromRandomOrderSearch) {
 }
 
 TEST(AcoParams, BoundaryValuesAccepted) {
+  COVERS("acolay::core::validate_aco_params (boundary values)");
   const auto g = test::diamond();
   core::AcoParams params;
   params.num_ants = 1;
@@ -117,6 +135,7 @@ TEST(AcoParams, BoundaryValuesAccepted) {
 }
 
 TEST(AcoParams, MaxWidthNeverWedgesTheWalk) {
+  COVERS("acolay::core::AcoParams::max_width");
   // An absurdly small capacity leaves only the current layer admissible;
   // the walk must still terminate with a valid result.
   core::AcoParams params;
@@ -130,6 +149,7 @@ TEST(AcoParams, MaxWidthNeverWedgesTheWalk) {
 }
 
 TEST(Metrics, EdgeDensityNormalisedBounds) {
+  COVERS("acolay::layering::edge_density_normalized");
   for (const auto& g : test::random_battery(6)) {
     const auto l = core::aco_layering(g, [] {
       core::AcoParams p;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baselines/longest_path.hpp"
+#include "core/batch.hpp"
 #include "core/colony.hpp"
 #include "core/stretch.hpp"
 #include "gen/corpus.hpp"
@@ -145,6 +146,118 @@ TEST(Determinism, ColonyRerunWithWarmWorkspacesIsBitIdentical) {
       EXPECT_EQ(cold.trace[t].best_objective, warm.trace[t].best_objective);
       EXPECT_EQ(cold.trace[t].total_moves, warm.trace[t].total_moves);
     }
+  }
+}
+
+TEST(Determinism, BatchSolverIsBitIdenticalToSequentialAcrossThreadCounts) {
+  // The BatchSolver contract: a batch equals N sequential AntColony::run()
+  // calls bit for bit, at any worker count. Whole corpus, full results
+  // (layering, metrics doubles, trace).
+  const auto corpus = seeded_corpus();
+  core::AcoParams params;
+  params.num_ants = 6;
+  params.num_tours = 4;
+
+  std::vector<core::AcoResult> reference;
+  reference.reserve(corpus.graphs.size());
+  for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+    core::AcoParams p = params;
+    p.seed = 20070325 + gi;
+    reference.push_back(core::AntColony(corpus.graphs[gi], p).run());
+  }
+
+  for (const int threads : thread_counts()) {
+    core::BatchSolver solver(core::BatchOptions{threads, false});
+    std::vector<core::BatchJobId> ids;
+    for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+      core::AcoParams p = params;
+      p.seed = 20070325 + gi;
+      ids.push_back(solver.submit(corpus.graphs[gi], p));
+    }
+    for (std::size_t gi = 0; gi < ids.size(); ++gi) {
+      const auto& result = solver.wait(ids[gi]);
+      ASSERT_EQ(result.layering, reference[gi].layering)
+          << "graph " << gi << ", threads " << threads;
+      EXPECT_EQ(result.metrics.objective, reference[gi].metrics.objective);
+      EXPECT_EQ(result.metrics.width_incl_dummies,
+                reference[gi].metrics.width_incl_dummies);
+      ASSERT_EQ(result.trace.size(), reference[gi].trace.size());
+      for (std::size_t t = 0; t < result.trace.size(); ++t) {
+        EXPECT_EQ(result.trace[t].best_objective,
+                  reference[gi].trace[t].best_objective);
+        EXPECT_EQ(result.trace[t].total_moves,
+                  reference[gi].trace[t].total_moves);
+      }
+    }
+  }
+}
+
+TEST(Determinism, BatchSolverIsStableUnderSubmissionPermutation) {
+  // Per-job results depend only on (graph, effective params): submitting
+  // the same jobs in a different order — onto workers with differently
+  // warmed workspaces — must not change any of them.
+  const auto corpus = seeded_corpus();
+  core::AcoParams params;
+  params.num_ants = 5;
+  params.num_tours = 3;
+
+  const auto job_params = [&params](std::size_t gi) {
+    core::AcoParams p = params;
+    p.seed = 977 + gi;
+    return p;
+  };
+
+  core::BatchSolver forward(core::BatchOptions{4, false});
+  std::vector<core::BatchJobId> forward_ids(corpus.graphs.size());
+  for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+    forward_ids[gi] = forward.submit(corpus.graphs[gi], job_params(gi));
+  }
+
+  // Reverse order: the largest graphs now warm the workspaces first.
+  core::BatchSolver backward(core::BatchOptions{4, false});
+  std::vector<core::BatchJobId> backward_ids(corpus.graphs.size());
+  for (std::size_t gi = corpus.graphs.size(); gi-- > 0;) {
+    backward_ids[gi] = backward.submit(corpus.graphs[gi], job_params(gi));
+  }
+
+  for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+    const auto& a = forward.wait(forward_ids[gi]);
+    const auto& b = backward.wait(backward_ids[gi]);
+    ASSERT_EQ(a.layering, b.layering) << "graph " << gi;
+    EXPECT_EQ(a.metrics.objective, b.metrics.objective);
+    EXPECT_EQ(a.metrics.dummy_count, b.metrics.dummy_count);
+  }
+}
+
+TEST(Determinism, BatchWorkerWorkspacesCarryNoCrossGraphState) {
+  // A worker's ColonyWorkspace is reused job after job; beyond buffer
+  // capacity it must carry nothing. Solve the corpus, then re-solve every
+  // graph through the same (now maximally warmed) solver and through a
+  // cold one: all three runs must agree bit for bit.
+  const auto corpus = seeded_corpus();
+  core::AcoParams params;
+  params.num_ants = 4;
+  params.num_tours = 3;
+  params.seed = 31337;
+
+  core::BatchSolver warm(core::BatchOptions{2, false});
+  std::vector<core::BatchJobId> first_ids;
+  for (const auto& g : corpus.graphs) {
+    first_ids.push_back(warm.submit(g, params));
+  }
+  warm.wait_all();
+
+  for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+    const auto rerun_id = warm.submit(corpus.graphs[gi], params);
+    const auto& first = warm.wait(first_ids[gi]);
+    const auto& rerun = warm.wait(rerun_id);
+    ASSERT_EQ(first.layering, rerun.layering) << "graph " << gi;
+    EXPECT_EQ(first.metrics.objective, rerun.metrics.objective);
+
+    core::BatchSolver cold(core::BatchOptions{1, false});
+    const auto& fresh = cold.wait(cold.submit(corpus.graphs[gi], params));
+    ASSERT_EQ(first.layering, fresh.layering) << "graph " << gi;
+    EXPECT_EQ(first.metrics.objective, fresh.metrics.objective);
   }
 }
 

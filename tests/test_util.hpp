@@ -1,13 +1,26 @@
 // Shared fixtures and helpers for the acolay test suite.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "gen/random_dag.hpp"
+#include "graph/algorithms.hpp"
 #include "graph/digraph.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace acolay::test {
+
+/// Every fixture builder routes its graph through this gate: a cyclic
+/// fixture would silently turn suites that assume DAG inputs (layering
+/// validity, oracle comparisons) into vacuous tests, so construction
+/// fails loudly instead. Throws support::CheckError on a cycle.
+inline graph::Digraph require_dag(graph::Digraph g) {
+  ACOLAY_CHECK_MSG(graph::is_dag(g),
+                   "test fixture graph must be a DAG (has a cycle)");
+  return g;
+}
 
 /// The diamond: 3 -> {1, 2} -> 0.  (Edges point down; 3 is the source.)
 inline graph::Digraph diamond() {
@@ -16,7 +29,7 @@ inline graph::Digraph diamond() {
   g.add_edge(3, 2);
   g.add_edge(1, 0);
   g.add_edge(2, 0);
-  return g;
+  return require_dag(std::move(g));
 }
 
 /// A long edge forcing dummies: 2 -> 1 -> 0 plus 2 -> 0.
@@ -25,7 +38,7 @@ inline graph::Digraph triangle_with_long_edge() {
   g.add_edge(2, 1);
   g.add_edge(1, 0);
   g.add_edge(2, 0);
-  return g;
+  return require_dag(std::move(g));
 }
 
 /// Two independent chains sharing no edges: {4 -> 2 -> 0} and {3 -> 1}.
@@ -34,7 +47,7 @@ inline graph::Digraph two_chains() {
   g.add_edge(4, 2);
   g.add_edge(2, 0);
   g.add_edge(3, 1);
-  return g;
+  return require_dag(std::move(g));
 }
 
 /// The example DAG used across handwritten expectations:
@@ -56,7 +69,7 @@ inline graph::Digraph small_dag() {
   g.add_edge(4, 2);
   g.add_edge(2, 0);
   g.add_edge(2, 1);
-  return g;
+  return require_dag(std::move(g));
 }
 
 /// A deterministic battery of random DAGs spanning sizes and densities.
@@ -72,7 +85,7 @@ inline std::vector<graph::Digraph> random_battery(int count = 24,
     params.num_edges = static_cast<std::size_t>(
         density * static_cast<double>(params.num_vertices));
     params.span_bias = (i % 3 == 0) ? 0.0 : 0.4;
-    graphs.push_back(gen::random_dag(params, rng));
+    graphs.push_back(require_dag(gen::random_dag(params, rng)));
   }
   return graphs;
 }
