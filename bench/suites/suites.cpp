@@ -9,6 +9,8 @@ std::vector<harness::Suite> all_suites() {
   suites.push_back(corpus_stats_suite());
   suites.push_back(micro_suite());
   suites.push_back(batch_throughput_suite());
+  suites.push_back(metrics_simd_suite());
+  suites.push_back(pheromone_update_suite());
   return suites;
 }
 

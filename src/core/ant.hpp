@@ -54,15 +54,15 @@ struct WalkResult {
 /// across all tours, so that after the first tour a walk performs zero
 /// heap allocation: every buffer is reset in place at its high-water size.
 struct WalkWorkspace {
-  layering::LayerWidths widths;
-  layering::SpanTable spans;
-  layering::MetricsWorkspace metrics;
+  layering::LayerWidths widths;   ///< per-ant Alg. 5 width profile
+  layering::SpanTable spans;      ///< per-ant layer spans (Alg. 4 l. 9–11)
+  layering::MetricsWorkspace metrics;  ///< fused-metrics scratch
   std::vector<std::int32_t> order;       ///< vertex visiting order
   std::vector<double> scores;            ///< per-candidate-layer scores
   std::vector<double> eta_term;          ///< per-layer eta^beta cache
   std::vector<int> ties;                 ///< argmax tie indices
   std::vector<std::uint8_t> bfs_seen;    ///< BFS scratch (VertexOrder::kBfs)
-  std::vector<graph::VertexId> bfs_queue;
+  std::vector<graph::VertexId> bfs_queue;  ///< BFS frontier scratch
 
   /// Pre-grows every buffer for walks over graphs of up to `num_vertices`
   /// vertices and `num_layers` layers (the batch solver sizes worker

@@ -50,6 +50,7 @@ namespace acolay::core {
 /// Handle for a submitted job: the 0-based submission index.
 using BatchJobId = std::size_t;
 
+/// Configuration of a BatchSolver.
 struct BatchOptions {
   /// Worker threads across colonies; 0 = hardware concurrency. Results
   /// are bit-identical for any value (see tests/determinism_test.cpp).
@@ -61,8 +62,12 @@ struct BatchOptions {
   bool derive_seeds = false;
 };
 
+/// Concurrent many-graph colony solver: one whole-colony task per
+/// submitted job on a shared thread pool, bit-identical to sequential
+/// AntColony::run() calls (see the file comment for the design).
 class BatchSolver {
  public:
+  /// Spins up the worker pool per `options`.
   explicit BatchSolver(BatchOptions options = {});
 
   /// Drains the queue: blocks until every submitted job has finished.
@@ -71,7 +76,9 @@ class BatchSolver {
   BatchSolver(const BatchSolver&) = delete;
   BatchSolver& operator=(const BatchSolver&) = delete;
 
+  /// The options this solver was built with.
   const BatchOptions& options() const { return options_; }
+  /// Workers in the underlying pool (resolved hardware concurrency).
   std::size_t num_threads() const { return pool_.num_threads(); }
 
   /// Admits one layering request: validates `g` (must be a DAG) and the

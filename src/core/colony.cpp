@@ -128,16 +128,21 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
       result.trace.push_back(stats);
     }
 
-    // Evaporation + tour-best deposit (Alg. 4 lines 16–17).
-    ws.tau.evaporate(params.rho);
+    // Evaporation + tour-best deposit (Alg. 4 lines 16–17), fused into one
+    // sharded SIMD sweep (bit-identical to the discrete
+    // evaporate/deposit/clamp sequence; infinite bounds disable clamping
+    // exactly). The ant pool is idle between tours, so large matrices fan
+    // the row shards out on it.
     const double amount = params.deposit * tour_best.objective;
-    for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
-      ws.tau.deposit(v, tour_best.layering.layer(v), amount);
-    }
-    if (params.tau_min > 0.0 ||
-        params.tau_max < std::numeric_limits<double>::infinity()) {
-      ws.tau.clamp(params.tau_min, params.tau_max);
-    }
+    const bool clamped =
+        params.tau_min > 0.0 ||
+        params.tau_max < std::numeric_limits<double>::infinity();
+    ws.tau.update(params.rho, tour_best.layering.raw(), amount,
+                  clamped ? params.tau_min
+                          : -std::numeric_limits<double>::infinity(),
+                  clamped ? params.tau_max
+                          : std::numeric_limits<double>::infinity(),
+                  ant_pool);
 
     // The tour-best layering (hence its width profile / heuristic state)
     // seeds the next tour (Alg. 4 line 18).

@@ -39,11 +39,12 @@ struct TourStats {
   double best_objective = 0.0;  ///< best f in this tour
   double mean_objective = 0.0;  ///< mean f over the colony
   double best_width = 0.0;      ///< width (incl. dummies) of tour best
-  int best_height = 0;
-  std::int64_t best_dummies = 0;
+  int best_height = 0;          ///< height of the tour-best layering
+  std::int64_t best_dummies = 0;  ///< dummy count of the tour-best layering
   int total_moves = 0;          ///< vertex moves across all ants
 };
 
+/// Everything a colony run produces.
 struct AcoResult {
   /// Best layering found, normalized (layers 1..h, no empty layers).
   layering::Layering layering;
@@ -69,9 +70,9 @@ void validate_aco_params(const AcoParams& params);
 /// across runs (AntColony reruns, or BatchSolver's per-worker pools)
 /// allocates only until each buffer reaches its high-water size.
 struct ColonyWorkspace {
-  std::vector<WalkWorkspace> ants;
-  std::vector<WalkResult> walks;
-  PheromoneMatrix tau;
+  std::vector<WalkWorkspace> ants;  ///< one walk workspace per ant slot
+  std::vector<WalkResult> walks;    ///< per-ant results of the current tour
+  PheromoneMatrix tau;              ///< the shared pheromone matrix
 
   /// Pre-grows every buffer for colonies of up to `num_ants` ants over
   /// graphs of up to `num_vertices` vertices and `num_layers` layers
@@ -96,6 +97,9 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
                      const AcoParams& params, ColonyWorkspace& ws,
                      support::ThreadPool* ant_pool);
 
+/// The paper's colony, bound to one graph: validates inputs once, owns
+/// the reusable ColonyWorkspace, and delegates each run() to run_colony
+/// over a fresh CSR snapshot.
 class AntColony {
  public:
   /// Requires a DAG.
@@ -104,6 +108,7 @@ class AntColony {
   /// Runs the full search (paper runColony()).
   AcoResult run();
 
+  /// The validated parameters this colony runs with.
   const AcoParams& params() const { return params_; }
 
  private:

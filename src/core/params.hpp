@@ -60,8 +60,11 @@ enum class StretchMode {
   kNone,
 };
 
+/// All tunables of the ACO layering search, with the paper's production
+/// configuration as defaults. Validated by core::validate_aco_params at
+/// every colony entry point.
 struct AcoParams {
-  int num_ants = 10;
+  int num_ants = 10;   ///< colony size (walks per tour)
   int num_tours = 10;  ///< paper §V-C: "10 was the value we used"
 
   double alpha = 1.0;  ///< pheromone exponent
@@ -79,12 +82,12 @@ struct AcoParams {
   /// empty layer has large-but-finite desirability (DESIGN.md deviation 1).
   double eta_epsilon = 0.1;
 
-  SelectionRule selection = SelectionRule::kGreedyMax;
-  TieBreak tie_break = TieBreak::kRandom;
-  VertexOrder order = VertexOrder::kRandom;
-  StretchMode stretch = StretchMode::kBetweenLayers;
+  SelectionRule selection = SelectionRule::kGreedyMax;  ///< layer choice rule
+  TieBreak tie_break = TieBreak::kRandom;  ///< tie handling for kGreedyMax
+  VertexOrder order = VertexOrder::kRandom;  ///< vertex visiting order
+  StretchMode stretch = StretchMode::kBetweenLayers;  ///< §V-A stretch step
 
-  StagnationPolicy stagnation = StagnationPolicy::kNone;
+  StagnationPolicy stagnation = StagnationPolicy::kNone;  ///< see enum
   /// Consecutive zero-move tours that trigger the stagnation policy.
   int stagnation_tours = 2;
 
@@ -95,8 +98,9 @@ struct AcoParams {
 
   /// Optional MAX-MIN-style pheromone clamping (0 / infinity disable).
   double tau_min = 0.0;
-  double tau_max = std::numeric_limits<double>::infinity();
+  double tau_max = std::numeric_limits<double>::infinity();  ///< see tau_min
 
+  /// Root RNG seed; every (tour, ant) pair forks its own stream from it.
   std::uint64_t seed = 1;
 
   /// Worker threads for the parallel ant walks; 0 = hardware concurrency,

@@ -6,16 +6,32 @@
 // Optional MAX-MIN clamping bounds stagnation (the paper observes that
 // alpha > 1 without heuristic bias stagnates, §IV-D; clamping is the
 // standard remedy and is exercised by the ablation bench).
+//
+// The per-tour update is the last O(n·L) pass of the colony loop, so
+// update() fuses evaporate + tour-best deposit + clamp into one SIMD
+// sweep (support/simd.hpp) over the row-major tau array, optionally
+// sharded across a support::ThreadPool by contiguous row blocks for very
+// large matrices. Every path — the three discrete methods, the fused
+// sweep, and the sharded sweep at any thread count — is bit-identical
+// (tests/core_pheromone_test.cpp pins it on randomized matrices).
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "support/check.hpp"
 
+namespace acolay::support {
+class ThreadPool;
+}  // namespace acolay::support
+
 namespace acolay::core {
 
+/// The pheromone matrix tau of the colony (paper §IV-D): one double per
+/// (vertex, layer) coupling, row-major with one contiguous L-sized row
+/// per vertex. Layers are 1-based throughout.
 class PheromoneMatrix {
  public:
   /// An empty 0 x 0 matrix; fill with reset() before use.
@@ -37,7 +53,9 @@ class PheromoneMatrix {
                  static_cast<std::size_t>(std::max(num_layers, 0)));
   }
 
+  /// Number of vertex rows.
   std::size_t num_vertices() const { return vertices_; }
+  /// Number of layer columns.
   int num_layers() const { return layers_; }
 
   /// tau(v, l); layers are 1-based.
@@ -65,7 +83,35 @@ class PheromoneMatrix {
   /// Clamps every element into [tau_min, tau_max].
   void clamp(double tau_min, double tau_max);
 
+  /// The whole per-tour update protocol (Alg. 4 lines 16–17) in one fused
+  /// sweep: for every vertex v, tau(v, ·) *= (1 - rho), then
+  /// tau(v, deposit_layers[v]) += amount, then every element is clamped
+  /// into [tau_min, tau_max]. Exactly one deposit per row —
+  /// `deposit_layers` is the tour-best ant's layer assignment
+  /// (Layering::raw()), so `deposit_layers.size()` must equal
+  /// num_vertices() and every entry must be a valid 1-based layer.
+  ///
+  /// Pass tau_min = -infinity / tau_max = +infinity to disable clamping
+  /// exactly (the identity on finite tau). Bit-identical to
+  /// evaporate(rho); deposit(v, deposit_layers[v], amount) for all v;
+  /// clamp(tau_min, tau_max) — but in one pass over memory instead of
+  /// three, vectorized with support/simd.hpp.
+  ///
+  /// When `pool` is non-null and the matrix is large enough to amortise
+  /// task dispatch, the sweep is sharded across the pool by contiguous
+  /// blocks of whole rows. Rows are elementwise-independent and each row
+  /// receives its single deposit inside its shard, so the result is
+  /// bit-identical for every thread count and shard split. Must not be
+  /// called from a task already running on `pool` (no nested
+  /// parallelism); pass nullptr there — BatchSolver's whole-colony tasks
+  /// do.
+  void update(double rho, std::span<const int> deposit_layers, double amount,
+              double tau_min, double tau_max,
+              support::ThreadPool* pool = nullptr);
+
+  /// Smallest element (O(n·L); requires a non-empty matrix).
   double min_value() const;
+  /// Largest element (O(n·L); requires a non-empty matrix).
   double max_value() const;
 
  private:
@@ -83,6 +129,12 @@ class PheromoneMatrix {
                      "layer " << layer << " out of range");
     return offset_unchecked(v, layer);
   }
+
+  /// The fused update over rows [begin_vertex, end_vertex) — the shard
+  /// body; see update() for the semantics.
+  void update_rows(std::size_t begin_vertex, std::size_t end_vertex,
+                   double keep, std::span<const int> deposit_layers,
+                   double amount, double tau_min, double tau_max);
 
   std::size_t vertices_ = 0;
   int layers_ = 0;

@@ -23,17 +23,19 @@
 
 namespace acolay::core {
 
+/// What a refinement pass did to the layering.
 struct RefineStats {
   int passes = 0;          ///< full vertex sweeps executed
   int moves = 0;           ///< improving moves applied
-  double objective_before = 0.0;
-  double objective_after = 0.0;
+  double objective_before = 0.0;  ///< f of the input layering
+  double objective_after = 0.0;   ///< f of the refined layering
 };
 
+/// Tunables of greedy_refine.
 struct RefineOptions {
   /// Upper bound on sweeps (each sweep is O(V * span * (V+E))).
   int max_passes = 20;
-  double dummy_width = 1.0;
+  double dummy_width = 1.0;  ///< dummy width for the objective (nd_width)
 };
 
 /// Hill-climbs `l` in place (l must be a valid layering of g). The result

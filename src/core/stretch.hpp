@@ -20,6 +20,7 @@
 
 namespace acolay::core {
 
+/// The stretched layering and its enlarged layer budget.
 struct StretchResult {
   /// The input layering re-indexed into the stretched layer space.
   layering::Layering layering;

@@ -30,6 +30,8 @@
 
 namespace acolay::layering {
 
+/// The per-ant incremental width profile (paper Alg. 5): per-layer widths
+/// including dummy contributions, updated in O(span) per vertex move.
 class LayerWidths {
  public:
   /// An empty profile; fill with reset() before use.
@@ -55,9 +57,12 @@ class LayerWidths {
     diff_.reserve(layers + 1);
   }
 
+  /// Number of layers in the profile.
   int num_layers() const { return static_cast<int>(width_.size()); }
+  /// The per-dummy width this profile was built with.
   double dummy_width() const { return dummy_width_; }
 
+  /// Width of `layer` (1-based), dummy contributions included.
   double width(int layer) const {
     ACOLAY_CHECK_MSG(layer >= 1 && layer <= num_layers(),
                      "layer " << layer << " out of range");
@@ -86,6 +91,7 @@ class LayerWidths {
   void apply_move(const graph::CsrView& g, graph::VertexId v, int from,
                   int to);
 
+  /// The whole width array (index 0 = layer 1).
   const std::vector<double>& profile() const { return width_; }
 
  private:

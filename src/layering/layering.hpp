@@ -15,8 +15,11 @@
 
 namespace acolay::layering {
 
+/// A layer assignment: one 1-based integer layer per vertex (see the
+/// file comment for the validity convention it does not enforce).
 class Layering {
  public:
+  /// An empty layering over zero vertices.
   Layering() = default;
 
   /// n vertices, all on `initial_layer`.
@@ -25,13 +28,16 @@ class Layering {
   /// Wraps an explicit assignment (1-based layers).
   static Layering from_vector(std::vector<int> layers);
 
+  /// Number of vertices the layering covers.
   std::size_t num_vertices() const { return layer_.size(); }
 
+  /// Layer of vertex `v` (1-based).
   int layer(graph::VertexId v) const {
     check_vertex(v);
     return layer_[static_cast<std::size_t>(v)];
   }
 
+  /// Moves vertex `v` to `layer` (>= 1). Validity is not re-checked.
   void set_layer(graph::VertexId v, int layer) {
     check_vertex(v);
     ACOLAY_CHECK_MSG(layer >= 1, "layers are 1-based, got " << layer);
@@ -50,8 +56,11 @@ class Layering {
   /// result to at least that many layers (0 = max_layer()).
   std::vector<std::vector<graph::VertexId>> members(int num_layers = 0) const;
 
+  /// The underlying layer array (index = vertex id) — the borrowed view
+  /// the CSR-based scans and the pheromone deposit sweep read.
   const std::vector<int>& raw() const { return layer_; }
 
+  /// Two layerings are equal iff their layer arrays are.
   friend bool operator==(const Layering&, const Layering&) = default;
 
  private:

@@ -25,6 +25,7 @@
 
 namespace acolay::layering {
 
+/// Options shared by every metric evaluation.
 struct MetricsOptions {
   /// Width of one dummy vertex (paper's nd_width; §VIII tunes 0.1..1.2,
   /// production value 1.0).
@@ -122,16 +123,17 @@ double layering_objective(const graph::Digraph& g, const Layering& l,
 
 /// All criteria in one pass-friendly bundle.
 struct LayeringMetrics {
-  int height = 0;
-  double width_incl_dummies = 0.0;
-  double width_excl_dummies = 0.0;
-  std::int64_t dummy_count = 0;
-  std::int64_t total_span = 0;
-  std::int64_t edge_density = 0;
-  double edge_density_norm = 0.0;
-  double objective = 0.0;
+  int height = 0;                    ///< occupied layer count
+  double width_incl_dummies = 0.0;   ///< max layer width, dummies included
+  double width_excl_dummies = 0.0;   ///< max layer width, real vertices only
+  std::int64_t dummy_count = 0;      ///< total dummy vertices
+  std::int64_t total_span = 0;       ///< sum of edge spans
+  std::int64_t edge_density = 0;     ///< max edges crossing an adjacent gap
+  double edge_density_norm = 0.0;    ///< edge_density / |E| (0 if no edges)
+  double objective = 0.0;            ///< f = 1 / (height + width incl.)
 };
 
+/// Every criterion of `l` as-is (normalize first for the paper's numbers).
 LayeringMetrics compute_metrics(const graph::Digraph& g, const Layering& l,
                                 const MetricsOptions& opts = {});
 

@@ -22,6 +22,7 @@ struct ProperGraph {
   /// For each dummy vertex (id - n), the original edge it subdivides.
   std::vector<graph::Edge> dummy_origin;
 
+  /// Vertices of the original graph (ids 0..n-1 in `graph`).
   std::size_t num_real_vertices() const {
     return graph.num_vertices() - dummy_origin.size();
   }

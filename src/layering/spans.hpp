@@ -18,13 +18,17 @@
 
 namespace acolay::layering {
 
+/// One vertex's inclusive range [lo, hi] of admissible layers.
 struct LayerSpan {
-  int lo = 1;
-  int hi = 1;
+  int lo = 1;  ///< lowest admissible layer
+  int hi = 1;  ///< highest admissible layer
 
+  /// Whether `layer` lies inside the span.
   bool contains(int layer) const { return layer >= lo && layer <= hi; }
+  /// Number of admissible layers.
   int size() const { return hi - lo + 1; }
 
+  /// Spans are equal iff their bounds are.
   friend bool operator==(const LayerSpan&, const LayerSpan&) = default;
 };
 
@@ -42,6 +46,7 @@ class SpanTable {
   /// An empty table; fill with reset() before use.
   SpanTable() = default;
 
+  /// Computes every vertex's span for `l` over `num_layers` layers.
   SpanTable(const graph::Digraph& g, const Layering& l, int num_layers);
 
   /// Recomputes every span in place, reusing the table's storage — the
@@ -51,22 +56,26 @@ class SpanTable {
   /// Pre-grows the table for graphs of up to `num_vertices` vertices.
   void reserve(std::size_t num_vertices) { spans_.reserve(num_vertices); }
 
+  /// The cached span of vertex `v`.
   const LayerSpan& span(graph::VertexId v) const {
     return spans_[static_cast<std::size_t>(v)];
   }
 
+  /// The layer budget the spans were computed against.
   int num_layers() const { return num_layers_; }
 
   /// Recomputes the span of `v` (call for every neighbour of a moved
   /// vertex, per paper Alg. 4 lines 9–11).
   void refresh(const graph::Digraph& g, const Layering& l,
                graph::VertexId v);
+  /// CSR-view overload of refresh (the ACO hot path).
   void refresh(const graph::CsrView& g, const Layering& l, graph::VertexId v);
 
   /// Refreshes the spans of every neighbour of `moved` and of `moved`
   /// itself.
   void refresh_around(const graph::Digraph& g, const Layering& l,
                       graph::VertexId moved);
+  /// CSR-view overload of refresh_around (the ACO hot path).
   void refresh_around(const graph::CsrView& g, const Layering& l,
                       graph::VertexId moved);
 

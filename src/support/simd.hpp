@@ -1,0 +1,303 @@
+// Portable fixed-width SIMD layer for the acolay hot paths.
+//
+// One small set of lane primitives (f64 and i32 vectors: load/store,
+// broadcast, mul/add, min/max) with four backends selected at compile
+// time — AVX2 (4 f64 lanes), SSE2 (2), NEON/aarch64 (2) and a scalar
+// fallback (1) — plus the span-level reductions the fused metrics scans
+// use. The backend, and with it the lane count, is fixed per build
+// (define ACOLAY_SIMD_FORCE_SCALAR to pin the fallback), so a binary's
+// results never depend on runtime CPU dispatch.
+//
+// Determinism contract: everything exposed here is bit-identical to the
+// scalar code it replaces, for the inputs acolay produces —
+//  * the elementwise ops (mul/add/min/max) are applied per lane in the
+//    same order as a scalar loop, so any loop built from them matches the
+//    scalar loop exactly;
+//  * the reductions are only max/min, which are associative and
+//    commutative over non-NaN input, so re-associating them across lanes
+//    cannot change the value (unlike a float *sum*, which this header
+//    deliberately does not offer — reassociated double addition is not
+//    bit-stable, and the metrics scans keep their scalar accumulation
+//    order instead);
+//  * NaN never occurs in acolay's metric/pheromone data (widths and tau
+//    are finite by construction), which is what makes the x86 min/max
+//    instruction semantics agree with std::min/std::max. Callers must not
+//    pass NaN. Signed zero is tolerated: -0.0 and +0.0 compare equal, so
+//    reductions may return either bit pattern when both are present —
+//    acolay's width/tau data is never negative, so the case does not
+//    arise in the hot paths.
+//
+// Kept deliberately tiny: new users should extend the primitive set here
+// (all four backends at once) rather than sprinkle raw intrinsics through
+// algorithm code. tests/support_simd_test.cpp pins every primitive and
+// reduction against its scalar reference.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "support/check.hpp"
+
+#if defined(ACOLAY_SIMD_FORCE_SCALAR)
+#define ACOLAY_SIMD_BACKEND_SCALAR 1
+#elif defined(__AVX2__)
+#define ACOLAY_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define ACOLAY_SIMD_BACKEND_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define ACOLAY_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#else
+#define ACOLAY_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace acolay::support::simd {
+
+// The i32 primitives take plain `int` so spans over the codebase's
+// std::vector<int> layer arrays bind without a cast; every supported
+// backend is a 32-bit-int platform.
+static_assert(sizeof(int) == 4, "acolay::support::simd assumes 32-bit int");
+
+#if defined(ACOLAY_SIMD_BACKEND_AVX2)
+
+/// Human-readable backend name, reported by the bench suites.
+inline constexpr const char* kBackend = "avx2";
+/// Doubles (and int32 pairs) per vector register in this build.
+inline constexpr std::size_t kF64Lanes = 4;
+/// int32 elements per vector register in this build.
+inline constexpr std::size_t kI32Lanes = 8;
+
+using F64Vec = __m256d;
+using I32Vec = __m256i;
+
+inline F64Vec f64_load(const double* p) { return _mm256_loadu_pd(p); }
+inline void f64_store(double* p, F64Vec v) { _mm256_storeu_pd(p, v); }
+inline F64Vec f64_set1(double x) { return _mm256_set1_pd(x); }
+inline F64Vec f64_mul(F64Vec a, F64Vec b) { return _mm256_mul_pd(a, b); }
+inline F64Vec f64_add(F64Vec a, F64Vec b) { return _mm256_add_pd(a, b); }
+inline F64Vec f64_min(F64Vec a, F64Vec b) { return _mm256_min_pd(a, b); }
+inline F64Vec f64_max(F64Vec a, F64Vec b) { return _mm256_max_pd(a, b); }
+
+inline double f64_hmax(F64Vec v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_max_pd(lo, hi);
+  lo = _mm_max_sd(lo, _mm_unpackhi_pd(lo, lo));
+  return _mm_cvtsd_f64(lo);
+}
+
+inline double f64_hmin(F64Vec v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_min_pd(lo, hi);
+  lo = _mm_min_sd(lo, _mm_unpackhi_pd(lo, lo));
+  return _mm_cvtsd_f64(lo);
+}
+
+inline I32Vec i32_load(const int* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline I32Vec i32_set1(int x) { return _mm256_set1_epi32(x); }
+inline I32Vec i32_max(I32Vec a, I32Vec b) { return _mm256_max_epi32(a, b); }
+
+inline int i32_hmax(I32Vec v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  __m128i hi = _mm256_extracti128_si256(v, 1);
+  lo = _mm_max_epi32(lo, hi);
+  lo = _mm_max_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(1, 0, 3, 2)));
+  lo = _mm_max_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(lo);
+}
+
+#elif defined(ACOLAY_SIMD_BACKEND_SSE2)
+
+inline constexpr const char* kBackend = "sse2";
+inline constexpr std::size_t kF64Lanes = 2;
+inline constexpr std::size_t kI32Lanes = 4;
+
+using F64Vec = __m128d;
+using I32Vec = __m128i;
+
+inline F64Vec f64_load(const double* p) { return _mm_loadu_pd(p); }
+inline void f64_store(double* p, F64Vec v) { _mm_storeu_pd(p, v); }
+inline F64Vec f64_set1(double x) { return _mm_set1_pd(x); }
+inline F64Vec f64_mul(F64Vec a, F64Vec b) { return _mm_mul_pd(a, b); }
+inline F64Vec f64_add(F64Vec a, F64Vec b) { return _mm_add_pd(a, b); }
+inline F64Vec f64_min(F64Vec a, F64Vec b) { return _mm_min_pd(a, b); }
+inline F64Vec f64_max(F64Vec a, F64Vec b) { return _mm_max_pd(a, b); }
+
+inline double f64_hmax(F64Vec v) {
+  const F64Vec m = _mm_max_sd(v, _mm_unpackhi_pd(v, v));
+  return _mm_cvtsd_f64(m);
+}
+
+inline double f64_hmin(F64Vec v) {
+  const F64Vec m = _mm_min_sd(v, _mm_unpackhi_pd(v, v));
+  return _mm_cvtsd_f64(m);
+}
+
+inline I32Vec i32_load(const int* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline I32Vec i32_set1(int x) { return _mm_set1_epi32(x); }
+
+/// SSE2 predates pmaxsd; the classic cmpgt + blend emulation is exact.
+inline I32Vec i32_max(I32Vec a, I32Vec b) {
+  const __m128i mask = _mm_cmpgt_epi32(a, b);
+  return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+}
+
+inline int i32_hmax(I32Vec v) {
+  I32Vec m = i32_max(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  m = i32_max(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(m);
+}
+
+#elif defined(ACOLAY_SIMD_BACKEND_NEON)
+
+inline constexpr const char* kBackend = "neon";
+inline constexpr std::size_t kF64Lanes = 2;
+inline constexpr std::size_t kI32Lanes = 4;
+
+using F64Vec = float64x2_t;
+using I32Vec = int32x4_t;
+
+inline F64Vec f64_load(const double* p) { return vld1q_f64(p); }
+inline void f64_store(double* p, F64Vec v) { vst1q_f64(p, v); }
+inline F64Vec f64_set1(double x) { return vdupq_n_f64(x); }
+inline F64Vec f64_mul(F64Vec a, F64Vec b) { return vmulq_f64(a, b); }
+inline F64Vec f64_add(F64Vec a, F64Vec b) { return vaddq_f64(a, b); }
+inline F64Vec f64_min(F64Vec a, F64Vec b) { return vminq_f64(a, b); }
+inline F64Vec f64_max(F64Vec a, F64Vec b) { return vmaxq_f64(a, b); }
+
+inline double f64_hmax(F64Vec v) { return vmaxvq_f64(v); }
+inline double f64_hmin(F64Vec v) { return vminvq_f64(v); }
+
+inline I32Vec i32_load(const int* p) { return vld1q_s32(p); }
+inline I32Vec i32_set1(int x) { return vdupq_n_s32(x); }
+inline I32Vec i32_max(I32Vec a, I32Vec b) { return vmaxq_s32(a, b); }
+inline int i32_hmax(I32Vec v) { return vmaxvq_s32(v); }
+
+#else  // scalar fallback
+
+inline constexpr const char* kBackend = "scalar";
+inline constexpr std::size_t kF64Lanes = 1;
+inline constexpr std::size_t kI32Lanes = 1;
+
+using F64Vec = double;
+using I32Vec = std::int32_t;
+
+inline F64Vec f64_load(const double* p) { return *p; }
+inline void f64_store(double* p, F64Vec v) { *p = v; }
+inline F64Vec f64_set1(double x) { return x; }
+inline F64Vec f64_mul(F64Vec a, F64Vec b) { return a * b; }
+inline F64Vec f64_add(F64Vec a, F64Vec b) { return a + b; }
+inline F64Vec f64_min(F64Vec a, F64Vec b) { return b < a ? b : a; }
+inline F64Vec f64_max(F64Vec a, F64Vec b) { return a < b ? b : a; }
+inline double f64_hmax(F64Vec v) { return v; }
+inline double f64_hmin(F64Vec v) { return v; }
+
+inline I32Vec i32_load(const int* p) { return *p; }
+inline I32Vec i32_set1(int x) { return x; }
+inline I32Vec i32_max(I32Vec a, I32Vec b) { return a < b ? b : a; }
+inline int i32_hmax(I32Vec v) { return v; }
+
+#endif
+
+/// Maximum over a non-empty span — the vectorized `*std::max_element`
+/// behind the metrics width reductions. Requires non-NaN input; returns a
+/// value bit-identical to the scalar scan (max is associative).
+inline double max_value(std::span<const double> xs) {
+  ACOLAY_CHECK_MSG(!xs.empty(), "max_value over an empty span");
+  const double* p = xs.data();
+  const std::size_t n = xs.size();
+  std::size_t i = 0;
+  double best;
+  if (n >= kF64Lanes) {
+    F64Vec acc = f64_load(p);
+    for (i = kF64Lanes; i + kF64Lanes <= n; i += kF64Lanes) {
+      acc = f64_max(acc, f64_load(p + i));
+    }
+    best = f64_hmax(acc);
+  } else {
+    best = p[0];
+    i = 1;
+  }
+  for (; i < n; ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+/// Minimum counterpart of max_value, same contract.
+inline double min_value(std::span<const double> xs) {
+  ACOLAY_CHECK_MSG(!xs.empty(), "min_value over an empty span");
+  const double* p = xs.data();
+  const std::size_t n = xs.size();
+  std::size_t i = 0;
+  double best;
+  if (n >= kF64Lanes) {
+    F64Vec acc = f64_load(p);
+    for (i = kF64Lanes; i + kF64Lanes <= n; i += kF64Lanes) {
+      acc = f64_min(acc, f64_load(p + i));
+    }
+    best = f64_hmin(acc);
+  } else {
+    best = p[0];
+    i = 1;
+  }
+  for (; i < n; ++i) best = std::min(best, p[i]);
+  return best;
+}
+
+/// Maximum over a non-empty span of int32 — the vectorized max-layer scan
+/// of the fused metrics vertex pass. Integer max is exact under any
+/// association, so the result equals the scalar scan's.
+inline int max_value(std::span<const int> xs) {
+  ACOLAY_CHECK_MSG(!xs.empty(), "max_value over an empty span");
+  const int* p = xs.data();
+  const std::size_t n = xs.size();
+  std::size_t i = 0;
+  int best;
+  if (n >= kI32Lanes) {
+    I32Vec acc = i32_load(p);
+    for (i = kI32Lanes; i + kI32Lanes <= n; i += kI32Lanes) {
+      acc = i32_max(acc, i32_load(p + i));
+    }
+    best = i32_hmax(acc);
+  } else {
+    best = p[0];
+    i = 1;
+  }
+  for (; i < n; ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+/// Elementwise x[i] = clamp(x[i] * scale, lo, hi) — the pheromone
+/// evaporate(+clamp) sweep. Pass lo = -infinity / hi = +infinity to
+/// disable a bound exactly (max/min with an infinity is the identity on
+/// finite input). Bit-identical to the scalar loop: the same multiply and
+/// the same max-then-min are applied to every element, in element order
+/// per lane group.
+inline void scale_clamp(std::span<double> xs, double scale, double lo,
+                        double hi) {
+  double* p = xs.data();
+  const std::size_t n = xs.size();
+  const F64Vec scale_v = f64_set1(scale);
+  const F64Vec lo_v = f64_set1(lo);
+  const F64Vec hi_v = f64_set1(hi);
+  std::size_t i = 0;
+  for (; i + kF64Lanes <= n; i += kF64Lanes) {
+    F64Vec x = f64_mul(f64_load(p + i), scale_v);
+    f64_store(p + i, f64_min(f64_max(x, lo_v), hi_v));
+  }
+  for (; i < n; ++i) {
+    const double x = p[i] * scale;
+    p[i] = std::min(std::max(x, lo), hi);
+  }
+}
+
+}  // namespace acolay::support::simd

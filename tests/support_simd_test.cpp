@@ -1,0 +1,136 @@
+// Tests for the portable SIMD layer (support/simd.hpp): every span-level
+// helper is pinned bit-identical to its scalar reference on randomized
+// input, with sizes chosen to exercise the vector body, the scalar tail,
+// and every remainder class modulo the lane width — whichever backend the
+// build selected.
+#include "support/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace acolay::support {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Bitwise comparison: EXPECT_EQ on doubles would call 0.0 == -0.0 equal
+// and the point of these tests is bit identity.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::vector<double> random_doubles(Rng& rng, std::size_t n, double lo,
+                                   double hi) {
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform(lo, hi);
+  return xs;
+}
+
+TEST(Simd, ReportsABackend) {
+  const std::string backend = simd::kBackend;
+  EXPECT_TRUE(backend == "avx2" || backend == "sse2" || backend == "neon" ||
+              backend == "scalar")
+      << backend;
+  EXPECT_GE(simd::kF64Lanes, 1u);
+  EXPECT_GE(simd::kI32Lanes, simd::kF64Lanes);
+}
+
+TEST(Simd, MaxValueDoubleMatchesMaxElementAtEverySize) {
+  Rng rng(7);
+  // 1..(4 lanes + 3) covers every tail remainder for lane widths 1/2/4,
+  // plus larger sizes for multi-iteration vector bodies.
+  for (std::size_t n = 1; n <= 4 * simd::kF64Lanes + 3; ++n) {
+    for (int round = 0; round < 8; ++round) {
+      const auto xs = random_doubles(rng, n, -100.0, 100.0);
+      const double expected = *std::max_element(xs.begin(), xs.end());
+      EXPECT_TRUE(same_bits(simd::max_value(std::span<const double>(xs)),
+                            expected))
+          << "n=" << n;
+    }
+  }
+  const auto big = random_doubles(rng, 4097, 0.0, 1.0);
+  EXPECT_TRUE(same_bits(simd::max_value(std::span<const double>(big)),
+                        *std::max_element(big.begin(), big.end())));
+}
+
+TEST(Simd, MinValueDoubleMatchesMinElementAtEverySize) {
+  Rng rng(11);
+  for (std::size_t n = 1; n <= 4 * simd::kF64Lanes + 3; ++n) {
+    for (int round = 0; round < 8; ++round) {
+      const auto xs = random_doubles(rng, n, -100.0, 100.0);
+      const double expected = *std::min_element(xs.begin(), xs.end());
+      EXPECT_TRUE(same_bits(simd::min_value(std::span<const double>(xs)),
+                            expected))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(Simd, MaxValueIntMatchesMaxElementAtEverySize) {
+  Rng rng(13);
+  for (std::size_t n = 1; n <= 4 * simd::kI32Lanes + 3; ++n) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<int> xs(n);
+      for (auto& x : xs) {
+        x = static_cast<int>(rng.uniform_int(-1000000, 1000000));
+      }
+      EXPECT_EQ(simd::max_value(std::span<const int>(xs)),
+                *std::max_element(xs.begin(), xs.end()))
+          << "n=" << n;
+    }
+  }
+  // Extremes survive the reduction.
+  std::vector<int> edge{0, std::numeric_limits<int>::min(),
+                        std::numeric_limits<int>::max(), -1};
+  EXPECT_EQ(simd::max_value(std::span<const int>(edge)),
+            std::numeric_limits<int>::max());
+}
+
+TEST(Simd, ReductionsRejectEmptySpans) {
+  EXPECT_THROW(simd::max_value(std::span<const double>{}), CheckError);
+  EXPECT_THROW(simd::min_value(std::span<const double>{}), CheckError);
+  EXPECT_THROW(simd::max_value(std::span<const int>{}), CheckError);
+}
+
+TEST(Simd, ScaleClampMatchesScalarLoopAtEverySize) {
+  Rng rng(17);
+  for (std::size_t n = 0; n <= 4 * simd::kF64Lanes + 3; ++n) {
+    for (int round = 0; round < 8; ++round) {
+      auto xs = random_doubles(rng, n, 0.0, 10.0);
+      const double scale = rng.uniform(0.0, 1.0);
+      const double lo = rng.uniform(0.0, 1.0);
+      const double hi = lo + rng.uniform(0.0, 5.0);
+      auto expected = xs;
+      for (auto& x : expected) {
+        const double scaled = x * scale;
+        x = std::min(std::max(scaled, lo), hi);
+      }
+      simd::scale_clamp(std::span<double>(xs), scale, lo, hi);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(same_bits(xs[i], expected[i])) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, ScaleClampInfiniteBoundsAreTheIdentityClamp) {
+  Rng rng(19);
+  auto xs = random_doubles(rng, 3 * simd::kF64Lanes + 1, 0.0, 10.0);
+  auto expected = xs;
+  for (auto& x : expected) x *= 0.25;
+  simd::scale_clamp(std::span<double>(xs), 0.25, -kInf, kInf);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_TRUE(same_bits(xs[i], expected[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace acolay::support
