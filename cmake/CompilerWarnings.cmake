@@ -7,7 +7,14 @@
 
 function(acolay_set_warnings target)
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
-    target_compile_options(${target} PRIVATE -Wall -Wextra -Wpedantic)
+    # -Wshadow: shadowed members/parameters have produced real confusion in
+    # builder code (a local reusing a member name compiles silently and
+    # reads like the member). -Wconversion: the index/width arithmetic mixes
+    # std::size_t, int32 vertex ids and doubles — every narrowing must be a
+    # visible static_cast, or bit-identity claims get hard to audit. The
+    # whole tree compiles clean with both.
+    target_compile_options(${target} PRIVATE
+      -Wall -Wextra -Wpedantic -Wshadow -Wconversion)
     if(ACOLAY_WERROR)
       target_compile_options(${target} PRIVATE -Werror)
     endif()

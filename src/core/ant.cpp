@@ -66,6 +66,9 @@ inline double pow_by_mode(double x, double exponent, PowMode mode) {
     case PowMode::kGeneral:
       break;
   }
+  // lint:allow-next-line(no-pow-in-inner-loop) -- this IS the sanctioned
+  // general case behind the fast paths; every other caller goes through
+  // pow_by_mode or the per-layer eta^beta cache.
   return std::pow(x, exponent);
 }
 

@@ -20,18 +20,18 @@ bool claim_holds(double lhs, const std::string& relation, double rhs,
 
 Series& SuiteOutput::add_series(std::string series_name, std::string x_label,
                                 SeriesKind kind) {
-  Series series;
-  series.name = std::move(series_name);
-  series.x_label = std::move(x_label);
-  series.kind = kind;
-  return this->series.emplace_back(std::move(series));
+  Series entry;
+  entry.name = std::move(series_name);
+  entry.x_label = std::move(x_label);
+  entry.kind = kind;
+  return series.emplace_back(std::move(entry));
 }
 
-bool SuiteOutput::add_claim(std::string description, double lhs,
+bool SuiteOutput::add_claim(std::string claim_description, double lhs,
                             std::string relation, double rhs,
                             double tolerance, SeriesKind kind) {
   Claim claim;
-  claim.description = std::move(description);
+  claim.description = std::move(claim_description);
   claim.lhs = lhs;
   claim.relation = std::move(relation);
   claim.rhs = rhs;

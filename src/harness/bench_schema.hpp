@@ -76,8 +76,8 @@ struct SuiteOutput {
   Series& add_series(std::string series_name, std::string x_label,
                      SeriesKind kind = SeriesKind::kQuality);
   /// Records the claim and returns whether it holds.
-  bool add_claim(std::string description, double lhs, std::string relation,
-                 double rhs, double tolerance = 0.0,
+  bool add_claim(std::string claim_description, double lhs,
+                 std::string relation, double rhs, double tolerance = 0.0,
                  SeriesKind kind = SeriesKind::kQuality);
 };
 

@@ -2,6 +2,8 @@
 
 #include <charconv>
 #include <cmath>
+// lint:allow-next-line(banned-include) -- std::snprintf formats \uXXXX
+// escapes into a stack buffer; nothing here writes to a stdio stream.
 #include <cstdio>
 #include <sstream>
 

@@ -26,7 +26,7 @@ std::string render_ascii(const graph::Digraph& g,
     std::string label =
         g.label(v).empty() ? std::to_string(v) : g.label(v);
     if (static_cast<int>(label.size()) > opts.max_label) {
-      label = label.substr(0, static_cast<std::size_t>(opts.max_label - 1));
+      label.resize(static_cast<std::size_t>(opts.max_label - 1));
       label += '~';
     }
     return label;

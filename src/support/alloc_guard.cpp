@@ -1,0 +1,160 @@
+#include "support/alloc_guard.hpp"
+
+#include <cstdlib>
+#include <new>
+
+// Interposition lives in the same translation unit as the AllocGuard
+// member definitions on purpose: the archive member is only linked into a
+// binary when something references AllocGuard, and then the replaced
+// operators come with it. Binaries that never use the guard keep the
+// toolchain's allocator untouched.
+
+namespace {
+
+// Trivially-constructible thread_locals: safe to touch from inside
+// operator new (no dynamic initialisation, no reentrancy).
+#if ACOLAY_ALLOC_GUARD_ENABLED
+thread_local std::size_t t_allocations = 0;
+thread_local std::size_t t_deallocations = 0;
+thread_local std::size_t t_bytes = 0;
+#endif
+
+acolay::support::AllocCounters current_counters() noexcept {
+#if ACOLAY_ALLOC_GUARD_ENABLED
+  return {t_allocations, t_deallocations, t_bytes};
+#else
+  return {};
+#endif
+}
+
+}  // namespace
+
+namespace acolay::support {
+
+AllocGuard::AllocGuard() noexcept : start_(current_counters()) {}
+
+std::size_t AllocGuard::allocations() const noexcept {
+  return current_counters().allocations - start_.allocations;
+}
+
+std::size_t AllocGuard::deallocations() const noexcept {
+  return current_counters().deallocations - start_.deallocations;
+}
+
+std::size_t AllocGuard::bytes() const noexcept {
+  return current_counters().bytes - start_.bytes;
+}
+
+bool AllocGuard::counting_enabled() noexcept {
+#if ACOLAY_ALLOC_GUARD_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+AllocCounters AllocGuard::thread_counters() noexcept {
+  return current_counters();
+}
+
+}  // namespace acolay::support
+
+#if ACOLAY_ALLOC_GUARD_ENABLED
+
+namespace {
+
+void* counted_alloc(std::size_t size) noexcept {
+  ++t_allocations;
+  t_bytes += size;
+  // malloc(0) may return nullptr; operator new must return a unique
+  // pointer for zero-byte requests.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  ++t_allocations;
+  t_bytes += size;
+  void* p = nullptr;
+  // posix_memalign requires the alignment to be a multiple of
+  // sizeof(void*); over-aligned new guarantees a power of two, so only
+  // the tiny ones need rounding up.
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  return p;
+}
+
+void counted_free(void* ptr) noexcept {
+  ++t_deallocations;
+  std::free(ptr);
+}
+
+[[noreturn]] void throw_bad_alloc() { throw std::bad_alloc{}; }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw_bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+
+#endif  // ACOLAY_ALLOC_GUARD_ENABLED

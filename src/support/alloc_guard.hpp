@@ -1,0 +1,110 @@
+// Debug-build heap-allocation accounting for the zero-allocation house rule.
+//
+// PR 3 made the ACO inner loop allocation-free in steady state; this header
+// turns that claim into a machine-checked invariant. In builds without
+// NDEBUG, alloc_guard.cpp replaces the global `operator new`/`operator
+// delete` family with counting forwarders to malloc/free. An `AllocGuard`
+// snapshots the calling thread's counters at construction, so
+// `guard.allocations()` is the number of heap allocations the thread
+// performed since the guard was created — zero for a warmed-up
+// `perform_walk` tour, by contract.
+//
+// Release builds (NDEBUG) compile the guard down to a no-op: the operators
+// are not replaced, `counting_enabled()` is false, and
+// ACOLAY_ASSERT_NO_ALLOC only evaluates its statements. The observable
+// behaviour of guarded code is identical in both modes; only the
+// accounting differs, so guarding a scope can never change results.
+//
+// Counters are thread-local: a guard observes the constructing thread
+// only, and concurrent allocations on other threads (worker pools, other
+// tests) do not leak into its tally. Guards nest freely — each snapshot is
+// independent — and the interposed operators are reentrancy-safe: they
+// touch nothing but trivially-constructible thread_local integers, so an
+// allocation from inside STL internals (rehash, reallocation, exception
+// machinery) is counted exactly once and cannot recurse.
+#pragma once
+
+#include <cstddef>
+
+#include "support/check.hpp"
+
+// The guard interposes only in plain debug builds: release builds must not
+// pay for (or depend on) a replaced allocator, and under ASan/TSan the
+// sanitizer runtime owns operator new — replacing it would cost the
+// allocator-mismatch and race diagnostics those presets exist for.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ACOLAY_ALLOC_GUARD_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ACOLAY_ALLOC_GUARD_SANITIZED 1
+#endif
+#if !defined(NDEBUG) && !defined(ACOLAY_ALLOC_GUARD_SANITIZED)
+#define ACOLAY_ALLOC_GUARD_ENABLED 1
+#else
+#define ACOLAY_ALLOC_GUARD_ENABLED 0
+#endif
+
+namespace acolay::support {
+
+/// Per-thread totals since thread start (all zero in NDEBUG builds).
+struct AllocCounters {
+  std::size_t allocations = 0;    ///< calls into any replaced operator new
+  std::size_t deallocations = 0;  ///< calls into any replaced operator delete
+  std::size_t bytes = 0;          ///< sum of requested allocation sizes
+};
+
+/// RAII snapshot of the calling thread's allocation counters. Query the
+/// deltas while the guard is alive (or after — the snapshot is immutable).
+class AllocGuard {
+ public:
+  AllocGuard() noexcept;
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Heap allocations on this thread since the guard was constructed.
+  /// Always 0 when counting is disabled (release builds).
+  std::size_t allocations() const noexcept;
+
+  /// Heap deallocations on this thread since the guard was constructed.
+  std::size_t deallocations() const noexcept;
+
+  /// Bytes requested from the heap on this thread since construction.
+  std::size_t bytes() const noexcept;
+
+  /// True when the build interposes the global allocator (i.e. compiled
+  /// without NDEBUG): the deltas above are real observations. False means
+  /// the guard is a no-op and every delta reads 0.
+  static bool counting_enabled() noexcept;
+
+  /// The calling thread's raw running totals (not deltas).
+  static AllocCounters thread_counters() noexcept;
+
+ private:
+  AllocCounters start_;
+};
+
+}  // namespace acolay::support
+
+/// Runs the statement(s) and, in counting builds, throws
+/// support::CheckError if they performed any heap allocation on this
+/// thread. In release builds the statements run unobserved. Usage:
+///
+///   ACOLAY_ASSERT_NO_ALLOC(perform_walk(csr, base, L, tau, p, rng, ws, out));
+///
+/// The macro is statement-shaped (not an expression); wrap multiple
+/// statements in braces or separate them with commas as usual.
+#define ACOLAY_ASSERT_NO_ALLOC(...)                                        \
+  do {                                                                     \
+    const ::acolay::support::AllocGuard acolay_alloc_guard_;               \
+    { __VA_ARGS__; }                                                       \
+    if (::acolay::support::AllocGuard::counting_enabled()) {               \
+      ACOLAY_CHECK_MSG(acolay_alloc_guard_.allocations() == 0,             \
+                       "ACOLAY_ASSERT_NO_ALLOC scope performed "           \
+                           << acolay_alloc_guard_.allocations()            \
+                           << " heap allocation(s), "                      \
+                           << acolay_alloc_guard_.bytes() << " byte(s)");  \
+    }                                                                      \
+  } while (false)

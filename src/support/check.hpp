@@ -6,8 +6,6 @@
 // corrupt an experiment.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>

@@ -56,13 +56,11 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
 }
 
 bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() &&
-         text.substr(0, prefix.size()) == prefix;
+  return text.starts_with(prefix);
 }
 
 bool ends_with(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.substr(text.size() - suffix.size()) == suffix;
+  return text.ends_with(suffix);
 }
 
 std::string to_lower(std::string_view text) {

@@ -6,6 +6,7 @@
 #include "baselines/longest_path.hpp"
 #include "core/stretch.hpp"
 #include "layering/metrics.hpp"
+#include "support/alloc_guard.hpp"
 #include "test_util.hpp"
 
 namespace acolay::core {
@@ -156,6 +157,38 @@ TEST(AntWalk, EmptyGraph) {
   const auto walk = perform_walk(g, layering::Layering(0), 1, tau, params,
                                  support::Rng(1));
   EXPECT_EQ(walk.layering.num_vertices(), 0u);
+}
+
+TEST(AntWalk, SteadyStateWalkIsAllocationFree) {
+  // Pins the zero-allocation claim on the CSR overload's contract: once
+  // the workspace is reserved for (num_vertices, num_layers), walks are
+  // heap-silent — for any rng stream, not just a replay. (Warm-up alone is
+  // not enough: a different stream evolves different layer spans, so the
+  // per-vertex score buffer's high-water mark is stream-dependent; that is
+  // why the batch solver reserves for the largest admitted graph.) The
+  // guard is a no-op in release/sanitizer builds; the debug CI leg
+  // enforces it.
+  const auto g = test::random_battery(1, 42).front();
+  WalkFixture fx(g);
+  const AcoParams params;
+  const PheromoneMatrix tau(g.num_vertices(), fx.num_layers, params.tau0);
+  const graph::CsrView csr(g);
+  WalkWorkspace ws;
+  ws.reserve(g.num_vertices(), static_cast<std::size_t>(fx.num_layers));
+  WalkResult result;
+  perform_walk(csr, fx.base, fx.num_layers, tau, params, support::Rng(9), ws,
+               result);
+  const auto expected = result.layering;
+
+  ACOLAY_ASSERT_NO_ALLOC(perform_walk(csr, fx.base, fx.num_layers, tau, params,
+                                      support::Rng(9), ws, result));
+  EXPECT_EQ(result.layering, expected);
+
+  // A *different* rng stream visits vertices in another order and makes
+  // different moves, but the reserved buffers bound every stream.
+  ACOLAY_ASSERT_NO_ALLOC(perform_walk(csr, fx.base, fx.num_layers, tau, params,
+                                      support::Rng(1234), ws, result));
+  EXPECT_TRUE(layering::is_valid_layering(g, result.layering));
 }
 
 /// Selection-rule sweep over the battery: both rules, both tie-breaks.

@@ -6,10 +6,12 @@
 // num_threads ∈ {1, 4, hardware} on a seeded corpus.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "baselines/longest_path.hpp"
+#include "core/ant.hpp"
 #include "core/batch.hpp"
 #include "core/colony.hpp"
 #include "core/stretch.hpp"
@@ -17,6 +19,7 @@
 #include "graph/csr.hpp"
 #include "harness/experiment.hpp"
 #include "harness/figures.hpp"
+#include "support/alloc_guard.hpp"
 
 namespace acolay {
 namespace {
@@ -117,6 +120,63 @@ TEST(Determinism, WalkWorkspaceReuseIsBitIdentical) {
       base_b = fresh_result.layering;
     }
   }
+}
+
+TEST(Determinism, SteadyStateColonyTourIsAllocationFree) {
+  // The zero-allocation claim behind workspace reuse, enforced rather than
+  // asserted in a comment: replay run_colony's serial tour body (ant walks
+  // with forked rng streams, deterministic best-ant reduction, fused
+  // evaporate+deposit update, base hand-off) with workspaces reserved for
+  // this graph's (vertices, layers) bound, and demand that every tour
+  // after the warm-up performs zero heap allocations. The guard counts
+  // nothing in release/sanitizer builds; the debug CI leg arms it.
+  const auto corpus = seeded_corpus();
+  const auto& g = corpus.graphs[corpus.graphs.size() / 2];
+  const graph::CsrView csr(g);
+  const auto lpl = baselines::longest_path_layering(g);
+  core::AcoParams params;
+  const auto stretched = core::stretch_layering(g, lpl, params.stretch);
+  const int num_layers = std::max(stretched.num_layers, 1);
+  core::PheromoneMatrix tau(g.num_vertices(), num_layers, params.tau0);
+  const support::Rng root(20070325);
+
+  const std::size_t num_ants = 4;
+  std::vector<core::WalkWorkspace> ants(num_ants);
+  for (auto& ws : ants) {
+    ws.reserve(g.num_vertices(), static_cast<std::size_t>(num_layers));
+  }
+  std::vector<core::WalkResult> walks(num_ants);
+  layering::Layering base = stretched.layering;
+
+  const bool clamped =
+      params.tau_min > 0.0 ||
+      params.tau_max < std::numeric_limits<double>::infinity();
+  const auto run_tour = [&](int tour) {
+    for (std::size_t ant = 0; ant < num_ants; ++ant) {
+      core::perform_walk(csr, base, num_layers, tau, params,
+                         root.fork(static_cast<std::uint64_t>(tour), ant),
+                         ants[ant], walks[ant]);
+    }
+    std::size_t best_ant = 0;
+    for (std::size_t ant = 1; ant < num_ants; ++ant) {
+      if (walks[ant].objective > walks[best_ant].objective) best_ant = ant;
+    }
+    const core::WalkResult& tour_best = walks[best_ant];
+    tau.update(params.rho, tour_best.layering.raw(),
+               params.deposit * tour_best.objective,
+               clamped ? params.tau_min
+                       : -std::numeric_limits<double>::infinity(),
+               clamped ? params.tau_max
+                       : std::numeric_limits<double>::infinity(),
+               nullptr);
+    base = tour_best.layering;  // same vertex count: capacity is reused
+  };
+
+  run_tour(1);  // warm-up tour grows every buffer to its high-water size
+  for (int tour = 2; tour <= 5; ++tour) {
+    ACOLAY_ASSERT_NO_ALLOC(run_tour(tour));
+  }
+  EXPECT_TRUE(layering::is_valid_layering(g, base));
 }
 
 TEST(Determinism, ColonyRerunWithWarmWorkspacesIsBitIdentical) {

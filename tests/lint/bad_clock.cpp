@@ -1,0 +1,26 @@
+// lint-fixture: src/core/bad_clock.cpp
+//
+// Rule: no-wall-clock. A time-seeded run is unreproducible by
+// construction; wall-clock reads belong to support/timer (durations) and
+// the bench report writer (timestamps, with an inline suppression).
+#include <chrono>
+#include <ctime>  // lint-expect: no-wall-clock, lint-expect: banned-include
+
+namespace acolay::core {
+
+long bad_seed() {
+  const long a = time(nullptr);          // lint-expect: no-wall-clock
+  const long b = std::time(nullptr);     // lint-expect: no-wall-clock
+  const auto now =
+      std::chrono::system_clock::now();  // lint-expect: no-wall-clock
+  // Monotonic clocks measure durations, not wall time — allowed:
+  const auto tick = std::chrono::steady_clock::now();
+  // time_t as a type (no call) is fine too:
+  std::time_t stamp = a + b;
+  return static_cast<long>(stamp) +
+         std::chrono::duration_cast<std::chrono::seconds>(
+             now.time_since_epoch() + tick.time_since_epoch())
+             .count();
+}
+
+}  // namespace acolay::core

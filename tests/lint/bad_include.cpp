@@ -1,0 +1,18 @@
+// lint-fixture: src/io/bad_include.cpp
+//
+// Rule: banned-include. Library code returns data; it does not talk to
+// std streams, roll its own randomness, or read the wall clock.
+#include <iostream>  // lint-expect: banned-include
+#include <cstdio>    // lint-expect: banned-include
+#include <ostream>   // writing to a *caller-provided* stream is fine
+#include <string>
+
+namespace acolay::io {
+
+void report(std::ostream& os, const std::string& message) {
+  // The flagged includes above are the finding; using a caller-provided
+  // ostream (dependency-injected sink) is the sanctioned pattern.
+  os << message;
+}
+
+}  // namespace acolay::io

@@ -1,0 +1,31 @@
+// lint-fixture: src/graph/bad_new.cpp
+//
+// Rule: no-naked-new. Raw new/delete bypasses RAII and the allocation
+// guard's leak hygiene; deleted special members and operator new
+// declarations must NOT fire.
+#include <memory>
+#include <vector>
+
+namespace acolay::graph {
+
+struct Pool {
+  Pool() = default;
+  Pool(const Pool&) = delete;             // deleted member: not a finding
+  Pool& operator=(const Pool&) = delete;  // deleted member: not a finding
+};
+
+int* leak() {
+  int* raw = new int[4];  // lint-expect: no-naked-new
+  delete[] raw;           // lint-expect: no-naked-new
+  auto* one = new int(7);  // lint-expect: no-naked-new
+  delete one;              // lint-expect: no-naked-new
+  // The sanctioned spellings:
+  auto owned = std::make_unique<int>(7);
+  std::vector<int> block(4);
+  // "new" inside comments (a new vertex) or strings stays invisible:
+  const char* kDoc = "allocate a new layer";
+  (void)kDoc;
+  return owned.release();  // still not a new-expression
+}
+
+}  // namespace acolay::graph

@@ -1,0 +1,21 @@
+// lint-fixture: src/layering/metrics.cpp
+//
+// Rule: no-pow-in-inner-loop. The fixture path is one of the inner-loop
+// files, where a general std::pow costs more than the whole scoring
+// expression; the same code at any other path is legal.
+#include <cmath>
+
+namespace acolay::layering {
+
+double score(double tau, double eta, double alpha, double beta) {
+  const double a = std::pow(tau, alpha);  // lint-expect: no-pow-in-inner-loop
+  const double b = pow(eta, beta);        // lint-expect: no-pow-in-inner-loop
+  // A justified use survives with a named, reasoned suppression:
+  // lint:allow-next-line(no-pow-in-inner-loop) -- fixture: sanctioned general case
+  const double c = std::pow(tau, 2.5);
+  // Identifiers containing "pow" are not calls to it:
+  const double horsepower = a + b + c;
+  return horsepower;
+}
+
+}  // namespace acolay::layering

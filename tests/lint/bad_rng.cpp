@@ -1,0 +1,26 @@
+// lint-fixture: src/layering/bad_rng.cpp
+//
+// Rule: no-nondeterministic-rng. Everything stochastic must flow from
+// support::Rng; std facilities are either non-portable across stdlibs
+// (mt19937 distributions) or non-reproducible (random_device).
+#include <cstdlib>
+// The include fires the include-list rule as well as the RNG rule:
+#include <random>  // lint-expect: no-nondeterministic-rng, lint-expect: banned-include
+
+namespace acolay::layering {
+
+unsigned roll() {
+  std::random_device rd;                    // lint-expect: no-nondeterministic-rng
+  std::mt19937 gen(rd());                   // lint-expect: no-nondeterministic-rng
+  std::mt19937_64 gen64(7);                 // lint-expect: no-nondeterministic-rng
+  std::default_random_engine engine;        // lint-expect: no-nondeterministic-rng
+  const int legacy = rand();                // lint-expect: no-nondeterministic-rng
+  srand(42);                                // lint-expect: no-nondeterministic-rng
+  // Identifiers merely *containing* the banned names stay clean:
+  const int okrandom = 3;
+  const int brand = okrandom;
+  return gen() + gen64() + engine() +
+         static_cast<unsigned>(legacy + brand);
+}
+
+}  // namespace acolay::layering

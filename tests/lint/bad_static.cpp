@@ -1,0 +1,26 @@
+// lint-fixture: src/core/bad_static.cpp
+//
+// Rule: no-thread-unsafe-static. Mutable statics are cross-run,
+// cross-thread shared state: two colonies in one process (BatchSolver)
+// would observe each other. Immutable statics are configuration, not
+// state, and stay legal.
+namespace acolay::core {
+
+int next_id() {
+  static int counter = 0;  // lint-expect: no-thread-unsafe-static
+  return ++counter;
+}
+
+double cached_norm(double x) {
+  static double last_result = 0.0;  // lint-expect: no-thread-unsafe-static
+  last_result = x * 0.5;
+  return last_result;
+}
+
+int immutable_statics(int n) {
+  static constexpr int kTableSize = 64;
+  static const double kScale = 1.5;
+  return static_cast<int>(n * kScale) % kTableSize;
+}
+
+}  // namespace acolay::core

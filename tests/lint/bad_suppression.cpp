@@ -1,0 +1,17 @@
+// lint-fixture: src/core/bad_suppression.cpp
+//
+// Meta-rules: a suppression without a reason is itself a finding, and a
+// suppression naming a rule that does not exist is flagged instead of
+// silently doing nothing (catching typos like no-unorderd-container).
+#include <unordered_map>
+
+namespace acolay::core {
+
+int meta(int n) {
+  std::unordered_map<int, int> a;  // lint:allow(no-unordered-container) lint-expect: suppression-needs-reason
+  // A reasoned suppression of a misspelled rule suppresses nothing:
+  std::unordered_map<int, int> b;  // lint:allow(no-unordered-containr) -- typo! lint-expect: no-unordered-container, lint-expect: unknown-rule
+  return n + static_cast<int>(a.size() + b.size());
+}
+
+}  // namespace acolay::core

@@ -1,0 +1,28 @@
+// lint-fixture: src/core/bad_unordered.cpp
+//
+// Rule: no-unordered-container. Hash containers in determinism-critical
+// directories are flagged wholesale — iteration order is the hazard, and
+// banning the container is the only version of the rule a regex-AST
+// checker can enforce without false negatives.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace acolay::core {
+
+int count_layers() {
+  std::unordered_map<int, int> widths;    // lint-expect: no-unordered-container
+  std::unordered_set<int> seen;           // lint-expect: no-unordered-container
+  std::unordered_multimap<int, int> mm;   // lint-expect: no-unordered-container
+  // The deterministic alternatives pass untouched:
+  std::map<int, int> ordered;
+  std::vector<int> dense;
+  return static_cast<int>(widths.size() + seen.size() + mm.size() +
+                          ordered.size() + dense.size());
+}
+
+// A mention of std::unordered_map inside a comment or string is not a use:
+const char* kDoc = "prefer std::map over std::unordered_map here";
+
+}  // namespace acolay::core

@@ -136,9 +136,9 @@ std::vector<Case> all_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, AlgorithmModelSweep, ::testing::ValuesIn(all_cases()),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = model_name(info.param.model) + "_" +
-                         harness::algorithm_label(info.param.algorithm);
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      std::string name = model_name(param_info.param.model) + "_" +
+                         harness::algorithm_label(param_info.param.algorithm);
       // gtest parameter names must be alphanumeric ('+' appears in labels).
       for (char& ch : name) {
         if (std::isalnum(static_cast<unsigned char>(ch)) == 0) ch = '_';
@@ -180,8 +180,8 @@ INSTANTIATE_TEST_SUITE_P(Models, CrossAlgorithmRelations,
                          ::testing::Values(Model::kGnm, Model::kNorth,
                                            Model::kLayered, Model::kTree,
                                            Model::kSeriesParallel),
-                         [](const ::testing::TestParamInfo<Model>& info) {
-                           return model_name(info.param);
+                         [](const ::testing::TestParamInfo<Model>& param_info) {
+                           return model_name(param_info.param);
                          });
 
 }  // namespace

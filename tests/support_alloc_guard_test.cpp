@@ -1,0 +1,166 @@
+// Tests for the debug-build allocation guard (zero-allocation house rule).
+//
+// Counting only happens in plain debug builds (no NDEBUG, no sanitizers);
+// every observation-dependent expectation is therefore gated on
+// AllocGuard::counting_enabled() so this suite is meaningful in debug and
+// a semantics-only smoke test in release/sanitizer builds.
+#include "support/alloc_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace acolay::support {
+namespace {
+
+TEST(AllocGuard, CountsVectorAllocation) {
+  const AllocGuard guard;
+  std::vector<int> v;
+  v.reserve(64);
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(guard.allocations(), 1u);
+    EXPECT_GE(guard.bytes(), 64 * sizeof(int));
+  } else {
+    EXPECT_EQ(guard.allocations(), 0u);
+    EXPECT_EQ(guard.bytes(), 0u);
+  }
+}
+
+TEST(AllocGuard, CountsDeallocations) {
+  const AllocGuard guard;
+  { std::vector<int> v(32); }
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(guard.deallocations(), 1u);
+  } else {
+    EXPECT_EQ(guard.deallocations(), 0u);
+  }
+}
+
+TEST(AllocGuard, AllocationFreeScopeReadsZero) {
+  std::vector<int> v;
+  v.reserve(128);
+  const AllocGuard guard;
+  // Capacity is sufficient: no element write below may touch the heap.
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  v.clear();
+  for (int i = 0; i < 100; ++i) v.push_back(i * 2);
+  EXPECT_EQ(guard.allocations(), 0u);
+  EXPECT_EQ(guard.bytes(), 0u);
+}
+
+TEST(AllocGuard, GuardsNestIndependently) {
+  const AllocGuard outer;
+  std::vector<int> a(16);
+  {
+    const AllocGuard inner;
+    std::vector<int> b(16);
+    if (AllocGuard::counting_enabled()) {
+      // The inner guard sees only the inner vector; the outer sees both.
+      EXPECT_GE(inner.allocations(), 1u);
+      EXPECT_GT(outer.allocations(), inner.allocations());
+    }
+  }
+  // Destroying the inner guard must not disturb the outer snapshot.
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(outer.allocations(), 2u);
+  }
+}
+
+TEST(AllocGuard, ReentrancyFromStlInternals) {
+  // Containers-of-containers exercise operator new from inside STL
+  // internals (node allocation inside push_back inside the outer
+  // reallocation): the counting operators must not recurse or deadlock,
+  // and each allocation is counted exactly once per operator call.
+  const AllocGuard guard;
+  std::vector<std::string> v;
+  for (int i = 0; i < 8; ++i) {
+    // Long enough to defeat SSO so every element owns a heap block.
+    v.emplace_back(64, static_cast<char>('a' + i));
+  }
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(guard.allocations(), 8u);
+    const AllocCounters totals = AllocGuard::thread_counters();
+    EXPECT_GE(totals.allocations, guard.allocations());
+  }
+}
+
+TEST(AllocGuard, CountsUniquePtrAndArrayForms) {
+  const AllocGuard guard;
+  auto p = std::make_unique<int>(7);
+  auto arr = std::make_unique<double[]>(16);
+  p.reset();
+  arr.reset();
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(guard.allocations(), 2u);
+    EXPECT_GE(guard.deallocations(), 2u);
+  }
+}
+
+TEST(AllocGuard, NothrowNewIsCounted) {
+  const AllocGuard guard;
+  int* p = new (std::nothrow) int{3};
+  ASSERT_NE(p, nullptr);
+  delete p;
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(guard.allocations(), 1u);
+    EXPECT_GE(guard.deallocations(), 1u);
+  }
+}
+
+TEST(AllocGuard, OverAlignedNewIsCountedAndAligned) {
+  struct alignas(64) Wide {
+    double lanes[8];
+  };
+  const AllocGuard guard;
+  auto* w = new Wide{};
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 64, 0u);
+  delete w;
+  if (AllocGuard::counting_enabled()) {
+    EXPECT_GE(guard.allocations(), 1u);
+    EXPECT_GE(guard.bytes(), sizeof(Wide));
+  }
+}
+
+TEST(AllocGuard, ReleaseBuildIsANoOp) {
+  // In release (or sanitizer) builds the operators are not replaced and
+  // every delta must read zero no matter what the scope allocates.
+  if (AllocGuard::counting_enabled()) {
+    GTEST_SKIP() << "counting build: interposition active by design";
+  }
+  const AllocGuard guard;
+  std::vector<int> v(1024);
+  EXPECT_EQ(guard.allocations(), 0u);
+  EXPECT_EQ(guard.deallocations(), 0u);
+  EXPECT_EQ(guard.bytes(), 0u);
+  EXPECT_EQ(AllocGuard::thread_counters().allocations, 0u);
+}
+
+TEST(AllocGuard, AssertNoAllocPassesOnCleanScope) {
+  std::vector<int> warm;
+  warm.reserve(32);
+  ACOLAY_ASSERT_NO_ALLOC({
+    for (int i = 0; i < 32; ++i) warm.push_back(i);
+  });
+  EXPECT_EQ(warm.size(), 32u);
+}
+
+TEST(AllocGuard, AssertNoAllocThrowsOnViolation) {
+  if (!AllocGuard::counting_enabled()) {
+    GTEST_SKIP() << "release build: the macro only evaluates its scope";
+  }
+  EXPECT_THROW(ACOLAY_ASSERT_NO_ALLOC({ std::vector<int> v(256); }),
+               CheckError);
+}
+
+TEST(AllocGuard, MacroEvaluatesScopeExactlyOnceInEveryBuild) {
+  int runs = 0;
+  ACOLAY_ASSERT_NO_ALLOC(++runs);
+  EXPECT_EQ(runs, 1);
+}
+
+}  // namespace
+}  // namespace acolay::support
