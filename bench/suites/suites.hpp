@@ -43,6 +43,11 @@ harness::Suite metrics_simd_suite();
 /// the final matrix extrema as gated quality series.
 harness::Suite pheromone_update_suite();
 
+/// serving_latency — server::Server p50/p99 response latency under a
+/// synthetic open-loop request stream (one third duplicates), gated on
+/// served-equals-direct objective parity and exact dedup collapse.
+harness::Suite serving_latency_suite();
+
 /// Every registered suite, in canonical order.
 std::vector<harness::Suite> all_suites();
 

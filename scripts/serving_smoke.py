@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Golden-transcript smoke test for the acolay_serve daemon.
+
+Replays the canned request stream (tests/serving/requests.jsonl) through
+the daemon's stdin/stdout pipe at several thread counts and requires the
+responses to be byte-identical to each other AND to the checked-in golden
+transcript (tests/serving/golden.jsonl). A served response stream is a
+pure function of the input stream — arrival-order emission, timing fields
+off, stable error messages — so any byte of drift is a wire-protocol or
+determinism break and fails the gate.
+
+Used by the `serving-smoke` CI job and the `serving.golden_smoke` ctest
+case. Regenerate the transcript deliberately after an intentional
+protocol change with:
+
+    python3 scripts/serving_smoke.py --binary <acolay_serve> \
+        --requests tests/serving/requests.jsonl \
+        --golden tests/serving/golden.jsonl --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+
+def replay(binary: str, requests: bytes, threads: int) -> bytes:
+    proc = subprocess.run(
+        [binary, "--threads", str(threads)],
+        input=requests,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+        raise SystemExit(
+            f"acolay_serve --threads {threads} exited with "
+            f"{proc.returncode}"
+        )
+    return proc.stdout
+
+
+def show_diff(golden: bytes, got: bytes) -> None:
+    diff = difflib.unified_diff(
+        golden.decode(errors="replace").splitlines(),
+        got.decode(errors="replace").splitlines(),
+        fromfile="golden",
+        tofile="served",
+        lineterm="",
+    )
+    for line in diff:
+        print(line)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the acolay_serve executable")
+    parser.add_argument("--requests", required=True,
+                        help="canned request stream (one JSON frame per line)")
+    parser.add_argument("--golden", required=True,
+                        help="checked-in golden transcript to diff against")
+    parser.add_argument("--threads", type=int, action="append",
+                        help="thread counts to replay at (default: 1 and 4)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden transcript instead of "
+                             "diffing (for deliberate protocol changes)")
+    args = parser.parse_args()
+
+    requests = pathlib.Path(args.requests).read_bytes()
+    thread_counts = args.threads or [1, 4]
+
+    outputs = {t: replay(args.binary, requests, t) for t in thread_counts}
+    first = thread_counts[0]
+    for t in thread_counts[1:]:
+        if outputs[t] != outputs[first]:
+            print(f"FAIL: transcript at --threads {t} differs from "
+                  f"--threads {first} — served results must be "
+                  f"thread-count invariant")
+            show_diff(outputs[first], outputs[t])
+            return 1
+
+    golden_path = pathlib.Path(args.golden)
+    if args.update:
+        golden_path.write_bytes(outputs[first])
+        print(f"golden transcript rewritten: {golden_path} "
+              f"({len(outputs[first].splitlines())} responses)")
+        return 0
+
+    golden = golden_path.read_bytes()
+    if outputs[first] != golden:
+        print("FAIL: served transcript differs from the golden transcript "
+              f"({golden_path})")
+        show_diff(golden, outputs[first])
+        return 1
+
+    print(f"serving smoke OK: {len(golden.splitlines())} responses "
+          f"byte-identical at threads {thread_counts}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

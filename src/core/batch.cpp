@@ -22,31 +22,55 @@ BatchSolver::~BatchSolver() {
   // (pool_ is destroyed first).
 }
 
-BatchJobId BatchSolver::submit(const graph::Digraph& g,
-                               const AcoParams& params) {
-  ACOLAY_CHECK_MSG(graph::is_dag(g), "BatchSolver requires DAG inputs");
-  AcoParams effective = params;
+BatchJobId BatchSolver::submit(const SolveRequest& request) {
   const BatchJobId id = jobs_.size();
+  SolveRequest effective = request;
   if (options_.derive_seeds) {
-    effective.seed = params.seed + static_cast<std::uint64_t>(id);
+    effective.params.seed += static_cast<std::uint64_t>(id);
   }
-  validate_aco_params(effective);
+  jobs_.emplace_back(effective);
+  Job& job = jobs_.back();
 
-  // Admission: freeze the CSR snapshot (Job's constructor) and publish the
-  // new high-water dimensions before the job can run. Single writer (the
-  // owning thread), so a plain load-compare-store suffices.
-  jobs_.emplace_back(g, effective);
+  // Admission: the shared gate decides here, once. A rejected job is born
+  // finished — no CSR snapshot, no pool task, no exception. The plain
+  // store needs no lock: the job only becomes waitable once this call
+  // returns its id to the (single) owning thread.
+  job.outcome.error = validate_request(effective, &job.outcome.message);
+  if (!job.outcome.ok()) {
+    job.finished.store(true, std::memory_order_release);
+    return id;
+  }
+
+  // Freeze the CSR snapshot and publish the new high-water dimensions
+  // before the job can run. Single writer (the owning thread), so a plain
+  // load-compare-store suffices.
+  const graph::Digraph& g = *effective.graph;
+  job.csr.rebuild(g);
   if (g.num_vertices() > max_vertices_.load(std::memory_order_relaxed)) {
     max_vertices_.store(g.num_vertices(), std::memory_order_relaxed);
   }
-  const auto ants = static_cast<std::size_t>(effective.num_ants);
+  const auto ants = static_cast<std::size_t>(effective.params.num_ants);
   if (ants > max_ants_.load(std::memory_order_relaxed)) {
     max_ants_.store(ants, std::memory_order_relaxed);
   }
 
   unfinished_.fetch_add(1, std::memory_order_relaxed);
-  pool_.submit([this, &job = jobs_.back()] { run_job(job); });
+  pool_.submit([this, &job] { run_job(job); });
   return id;
+}
+
+BatchJobId BatchSolver::submit(const graph::Digraph& g,
+                               const AcoParams& params) {
+  // Deprecated shim: reproduce the historical throwing admission exactly
+  // (message included), then delegate. Seed derivation does not affect
+  // validation, so checking the caller's params here equals checking the
+  // effective ones.
+  ACOLAY_CHECK_MSG(graph::is_dag(g), "BatchSolver requires DAG inputs");
+  validate_aco_params(params);
+  SolveRequest request;
+  request.graph = &g;
+  request.params = params;
+  return submit(request);
 }
 
 void BatchSolver::run_job(Job& job) {
@@ -60,10 +84,17 @@ void BatchSolver::run_job(Job& job) {
     // axes. Monotonic, so steady state performs no allocation here.
     const std::size_t n = max_vertices_.load(std::memory_order_relaxed);
     ws.reserve(max_ants_.load(std::memory_order_relaxed), n, n);
-    job.result = run_colony(*job.g, job.csr, job.params, ws,
-                            /*ant_pool=*/nullptr);
+    job.outcome.result =
+        run_colony(*job.request.graph, job.csr, job.request.params, ws,
+                   /*ant_pool=*/nullptr, job.request.warm_tau);
+  } catch (const std::exception& e) {
+    job.error = std::current_exception();
+    job.outcome.error = AdmissionError::kInternal;
+    job.outcome.message = e.what();
   } catch (...) {
     job.error = std::current_exception();
+    job.outcome.error = AdmissionError::kInternal;
+    job.outcome.message = "unknown solver failure";
   }
   {
     // The lock pairs with the condition-variable waits in wait()/wait_all:
@@ -97,43 +128,77 @@ void BatchSolver::await_job(Job& job, BatchJobId id) {
                    "batch job " << id << " was already collected");
 }
 
+void BatchSolver::rethrow_failure(const Job& job, BatchJobId id) {
+  if (job.error) std::rethrow_exception(job.error);
+  // Structured-path admission failures have no stored exception; the
+  // legacy surface promises a throw, so raise one with the outcome's
+  // message.
+  ACOLAY_CHECK_MSG(job.outcome.ok(),
+                   "batch job " << id << " was rejected ("
+                                << admission_error_code(job.outcome.error)
+                                << "): " << job.outcome.message);
+}
+
 std::size_t BatchSolver::num_jobs() const { return jobs_.size(); }
 
 bool BatchSolver::done(BatchJobId id) const {
   return job_at(id).finished.load(std::memory_order_acquire);
 }
 
-const AcoResult* BatchSolver::poll(BatchJobId id) const {
+const SolveOutcome* BatchSolver::poll_outcome(BatchJobId id) const {
   const Job& job = job_at(id);
   if (!job.finished.load(std::memory_order_acquire)) return nullptr;
-  // Collected-guard first, matching wait()/collect(): a double-collect
-  // programming error must not resurface as the job's stale failure.
   ACOLAY_CHECK_MSG(!job.collected,
                    "batch job " << id << " was already collected");
-  if (job.error) std::rethrow_exception(job.error);
-  return &job.result;
+  return &job.outcome;
 }
 
-const AcoResult& BatchSolver::wait(BatchJobId id) {
+const SolveOutcome& BatchSolver::wait_outcome(BatchJobId id) {
   Job& job = job_at(id);
   await_job(job, id);
-  if (job.error) std::rethrow_exception(job.error);
-  return job.result;
+  return job.outcome;
 }
 
-AcoResult BatchSolver::collect(BatchJobId id) {
+SolveOutcome BatchSolver::collect_outcome(BatchJobId id) {
   Job& job = job_at(id);
   await_job(job, id);
   job.collected = true;
-  AcoResult result = std::move(job.result);
+  SolveOutcome outcome = std::move(job.outcome);
   // Shed everything sized by the graph — on failure too, so an errored
   // job on the serving path cannot pin its snapshot forever. The record
   // that stays behind is O(1), keeping a long-lived solver bounded.
-  job.result = AcoResult{};
+  job.outcome = SolveOutcome{};
   job.csr = graph::CsrView{};
-  job.g = nullptr;
+  job.request.graph = nullptr;
+  job.request.warm_tau = nullptr;
+  return outcome;
+}
+
+const AcoResult* BatchSolver::poll(BatchJobId id) const {
+  const SolveOutcome* outcome = poll_outcome(id);
+  if (outcome == nullptr) return nullptr;
+  if (!outcome->ok()) rethrow_failure(job_at(id), id);
+  return &outcome->result;
+}
+
+const AcoResult& BatchSolver::wait(BatchJobId id) {
+  const SolveOutcome& outcome = wait_outcome(id);
+  if (!outcome.ok()) rethrow_failure(job_at(id), id);
+  return outcome.result;
+}
+
+AcoResult BatchSolver::collect(BatchJobId id) {
+  // collect_outcome sheds the graph-sized state first (on failure too),
+  // then the failure is surfaced exactly as the historical API did — the
+  // O(1) record's exception_ptr survives the shedding.
+  SolveOutcome outcome = collect_outcome(id);
+  const Job& job = job_at(id);
   if (job.error) std::rethrow_exception(job.error);
-  return result;
+  ACOLAY_CHECK_MSG(outcome.ok(),
+                   "batch job " << id << " was rejected ("
+                                << admission_error_code(outcome.error)
+                                << "): " << outcome.message);
+  return std::move(outcome.result);
 }
 
 void BatchSolver::wait_all() {

@@ -28,6 +28,13 @@
 // blocking solve_all for whole-corpus workloads. The solver itself is
 // externally synchronised: submit/poll/wait are called from the owning
 // thread; only result completion is shared with the workers.
+//
+// Since PR 7 the primary entry is the structured request path
+// (core::SolveRequest in, core::SolveOutcome out): admission failures are
+// AdmissionError codes in the job's outcome, never exceptions — a
+// rejected request produces a job that is born finished. The original
+// throwing submit/poll/wait/collect surface remains as thin deprecated
+// shims with its exact historical behaviour.
 #pragma once
 
 #include <atomic>
@@ -41,6 +48,7 @@
 
 #include "core/colony.hpp"
 #include "core/params.hpp"
+#include "core/request.hpp"
 #include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "support/thread_pool.hpp"
@@ -81,13 +89,24 @@ class BatchSolver {
   /// Workers in the underlying pool (resolved hardware concurrency).
   std::size_t num_threads() const { return pool_.num_threads(); }
 
-  /// Admits one layering request: validates `g` (must be a DAG) and the
-  /// params, freezes the CSR snapshot, derives the effective seed, and
-  /// schedules the colony. The caller keeps `g` alive until the job's
-  /// result has been collected (the solver stores a reference, not a
-  /// copy). Returns the job's id; results are retained until collect()
-  /// (or for the solver's lifetime under wait()/poll() alone — long-lived
-  /// solvers serving a request stream should collect()).
+  /// Admits one structured layering request: derives the effective seed
+  /// (options().derive_seeds), runs the shared admission gate
+  /// (validate_request), and — if admitted — freezes the CSR snapshot and
+  /// schedules the colony. A rejected request never throws: its job is
+  /// born finished carrying the AdmissionError outcome. The caller keeps
+  /// the request's graph (and warm_tau, if any) alive until the job's
+  /// outcome has been collected (the solver stores the pointers, not a
+  /// copy). The request's deadline/priority fields are ignored here —
+  /// BatchSolver dispatches in submission order; the serving layer's
+  /// queue is what honors them (docs/SERVING.md). Returns the job's id;
+  /// outcomes are retained until collect_outcome() (long-lived solvers
+  /// serving a request stream should collect).
+  BatchJobId submit(const SolveRequest& request);
+
+  /// Deprecated throwing shim (pre-PR 7 surface): validates `g` (must be
+  /// a DAG) and the params, throwing support::CheckError exactly as the
+  /// historical API did, then delegates to the request path. Prefer
+  /// submit(const SolveRequest&).
   BatchJobId submit(const graph::Digraph& g, const AcoParams& params);
 
   /// Jobs submitted so far (finished or not).
@@ -96,21 +115,39 @@ class BatchSolver {
   /// Whether job `id` has finished (successfully or with an error).
   bool done(BatchJobId id) const;
 
-  /// Non-blocking: the job's result once finished, nullptr while it is
-  /// still queued or running. Rethrows the job's error if it failed.
+  /// Non-blocking: the job's outcome once finished, nullptr while it is
+  /// still queued or running. Failures (admission or solve) are codes in
+  /// the outcome — this never throws for them (only for a bad/collected
+  /// id, which is a caller bug).
+  const SolveOutcome* poll_outcome(BatchJobId id) const;
+
+  /// Blocks until job `id` finishes; returns its outcome (owned by the
+  /// solver). Failures are codes in the outcome, never exceptions.
+  const SolveOutcome& wait_outcome(BatchJobId id);
+
+  /// Like wait_outcome(), but moves the outcome out and releases the
+  /// job's frozen CSR snapshot and graph pointer — the long-running
+  /// serving path: a collected job keeps only its small record, so a
+  /// solver fed an unbounded request stream does not accumulate
+  /// snapshots and layerings (and the caller may drop the graph
+  /// afterwards). A collected job stays done(); further accessor calls
+  /// on it throw.
+  SolveOutcome collect_outcome(BatchJobId id);
+
+  /// Deprecated throwing shim: the job's result once finished, nullptr
+  /// while queued or running. Rethrows the job's solve error; surfaces a
+  /// structured-path admission failure as support::CheckError.
   const AcoResult* poll(BatchJobId id) const;
 
-  /// Blocks until job `id` finishes; returns its result (owned by the
-  /// solver). Rethrows the job's error if it failed.
+  /// Deprecated throwing shim over wait_outcome(): returns the result
+  /// (owned by the solver), rethrowing failures as the historical API
+  /// did.
   const AcoResult& wait(BatchJobId id);
 
-  /// Like wait(), but moves the result out and releases the job's frozen
-  /// CSR snapshot and graph reference — the long-running serving path: a
-  /// collected job keeps only its small record, so a solver fed an
-  /// unbounded request stream does not accumulate snapshots and
-  /// layerings (and the caller may drop the graph afterwards). A failed
-  /// job's state is released too, before its error is rethrown. A
-  /// collected job stays done(); poll/wait/collect on it throw.
+  /// Deprecated throwing shim over collect_outcome(): moves the result
+  /// out and releases the job's graph-sized state (on failure too, so an
+  /// errored job on the serving path cannot pin its snapshot), then
+  /// rethrows the job's failure if it had one.
   AcoResult collect(BatchJobId id);
 
   /// Blocks until every submitted job has finished. Does not rethrow job
@@ -129,15 +166,13 @@ class BatchSolver {
 
  private:
   struct Job {
-    Job(const graph::Digraph& graph, const AcoParams& p)
-        : g(&graph), params(p), csr(graph) {}
+    explicit Job(const SolveRequest& r) : request(r) {}
 
-    const graph::Digraph* g;
-    AcoParams params;     ///< effective params (seed already derived)
-    graph::CsrView csr;   ///< frozen at admission, released by collect()
-    AcoResult result;
-    std::exception_ptr error;
-    bool collected = false;  ///< result moved out, snapshot released
+    SolveRequest request;  ///< effective request (seed already derived)
+    graph::CsrView csr;    ///< frozen at admission, released by collect
+    SolveOutcome outcome;  ///< result or structured failure
+    std::exception_ptr error;  ///< legacy rethrow channel (solve errors)
+    bool collected = false;    ///< outcome moved out, snapshot released
     std::atomic<bool> finished{false};
   };
 
@@ -145,9 +180,12 @@ class BatchSolver {
   const Job& job_at(BatchJobId id) const;
   Job& job_at(BatchJobId id);
   /// Blocks until `job` finishes and rejects already-collected jobs
-  /// (shared by wait/collect; error rethrow stays with the callers so
+  /// (shared by wait/collect; failure surfacing stays with the callers so
   /// collect can release a failed job's state first).
   void await_job(Job& job, BatchJobId id);
+  /// Legacy-shim failure surfacing: rethrows the job's solve error, or
+  /// raises CheckError for a structured-path admission failure.
+  static void rethrow_failure(const Job& job, BatchJobId id);
 
   BatchOptions options_;
   /// Job records; deque for stable addresses (workers hold references

@@ -41,7 +41,7 @@ void ColonyWorkspace::reserve(std::size_t num_ants, std::size_t num_vertices,
 
 AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
                      const AcoParams& params, ColonyWorkspace& ws,
-                     support::ThreadPool* ant_pool) {
+                     support::ThreadPool* ant_pool, PheromoneMatrix* tau_io) {
   support::Stopwatch stopwatch;
   AcoResult result;
   const auto n = g.num_vertices();
@@ -59,7 +59,17 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
   result.initial_objective = layering::layering_objective(
       g, layering::normalized(stretched.layering), metric_opts);
 
-  ws.tau.reset(n, num_layers, params.tau0);
+  // Warm start (serving layer): adopt the caller's matrix only when its
+  // shape matches this run exactly — a stale snapshot from a differently
+  // stretched (or different) graph falls back to the cold tau0 reset.
+  const bool warm = tau_io != nullptr &&
+                    tau_io->num_vertices() == n &&
+                    tau_io->num_layers() == num_layers;
+  if (warm) {
+    ws.tau = *tau_io;
+  } else {
+    ws.tau.reset(n, num_layers, params.tau0);
+  }
   support::Rng root(params.seed);
 
   // Global best across tours. Starts as the stretched LPL layering but is
@@ -173,7 +183,29 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
   result.layering = layering::normalized(best_layering);
   result.metrics = best_metrics;
   result.seconds = stopwatch.elapsed_seconds();
+  if (tau_io != nullptr) *tau_io = ws.tau;
   return result;
+}
+
+AcoResult run_validated_colony(const graph::Digraph& g,
+                               const AcoParams& params, ColonyWorkspace& ws,
+                               PheromoneMatrix* tau_io) {
+  if (g.num_vertices() == 0) {
+    return run_colony(g, graph::CsrView{}, params, ws, nullptr, tau_io);
+  }
+  // One frozen CSR snapshot serves every walk and metrics evaluation of
+  // the run: the ants only read the topology.
+  const graph::CsrView csr(g);
+  if (params.num_threads == 1) {
+    // Serial ants need no pool; spawning a one-worker pool here would
+    // create and join an OS thread that parallel_for's single-thread
+    // shortcut never hands a walk anyway.
+    return run_colony(g, csr, params, ws, nullptr, tau_io);
+  }
+  support::ThreadPool pool(params.num_threads <= 0
+                               ? 0
+                               : static_cast<std::size_t>(params.num_threads));
+  return run_colony(g, csr, params, ws, &pool, tau_io);
 }
 
 AntColony::AntColony(const graph::Digraph& g, AcoParams params)
@@ -183,22 +215,7 @@ AntColony::AntColony(const graph::Digraph& g, AcoParams params)
 }
 
 AcoResult AntColony::run() {
-  if (g_.num_vertices() == 0) {
-    return run_colony(g_, graph::CsrView{}, params_, ws_, nullptr);
-  }
-  // One frozen CSR snapshot serves every walk and metrics evaluation of
-  // the run: the ants only read the topology.
-  const graph::CsrView csr(g_);
-  if (params_.num_threads == 1) {
-    // Serial ants need no pool; spawning a one-worker pool here would
-    // create and join an OS thread that parallel_for's single-thread
-    // shortcut never hands a walk anyway.
-    return run_colony(g_, csr, params_, ws_, nullptr);
-  }
-  support::ThreadPool pool(params_.num_threads <= 0
-                               ? 0
-                               : static_cast<std::size_t>(params_.num_threads));
-  return run_colony(g_, csr, params_, ws_, &pool);
+  return run_validated_colony(g_, params_, ws_);
 }
 
 layering::Layering aco_layering(const graph::Digraph& g,

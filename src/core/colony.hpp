@@ -93,9 +93,28 @@ struct ColonyWorkspace {
 ///
 /// Preconditions (validated by the public entry points): `g` is a DAG,
 /// `csr` is a snapshot of `g`, and `params` passes validate_aco_params.
+///
+/// `tau_io` is the warm-pheromone hook for the serving layer: when
+/// non-null and already sized exactly (n, stretched layer count), the run
+/// starts from that matrix instead of the uniform tau0 reset, and on
+/// return `*tau_io` receives the final matrix either way (sized to this
+/// graph). The result is still a pure function of (graph, params, tau-in)
+/// — but a caller chaining runs through one matrix makes each result
+/// depend on the chain order, which is why warm reuse is explicitly
+/// outside the bit-identity serving contract (docs/SERVING.md). Null (the
+/// default everywhere but the server's warm path) changes nothing.
 AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
                      const AcoParams& params, ColonyWorkspace& ws,
-                     support::ThreadPool* ant_pool);
+                     support::ThreadPool* ant_pool,
+                     PheromoneMatrix* tau_io = nullptr);
+
+/// Pool-policy wrapper over run_colony for validated inputs: freezes the
+/// CSR snapshot and runs the ants serially for num_threads == 1 or on a
+/// transient pool otherwise — the shared engine-entry of AntColony::run()
+/// and the structured solve() path (request.hpp).
+AcoResult run_validated_colony(const graph::Digraph& g,
+                               const AcoParams& params, ColonyWorkspace& ws,
+                               PheromoneMatrix* tau_io = nullptr);
 
 /// The paper's colony, bound to one graph: validates inputs once, owns
 /// the reusable ColonyWorkspace, and delegates each run() to run_colony

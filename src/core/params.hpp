@@ -109,6 +109,10 @@ struct AcoParams {
 
   /// Record per-tour statistics in AcoResult::trace.
   bool record_trace = true;
+
+  /// Field-wise equality — the serving layer's dedup cache shares a solve
+  /// only between requests whose params (seed included) are identical.
+  friend bool operator==(const AcoParams&, const AcoParams&) = default;
 };
 
 }  // namespace acolay::core

@@ -1,0 +1,69 @@
+#include "core/request.hpp"
+
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace acolay::core {
+
+const char* admission_error_code(AdmissionError error) {
+  switch (error) {
+    case AdmissionError::kNone:
+      return "ok";
+    case AdmissionError::kCycle:
+      return "cycle";
+    case AdmissionError::kBadParam:
+      return "bad_param";
+    case AdmissionError::kBadRequest:
+      return "bad_request";
+    case AdmissionError::kOverloaded:
+      return "overloaded";
+    case AdmissionError::kDeadlineExpired:
+      return "deadline_expired";
+    case AdmissionError::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+AdmissionError validate_request(const SolveRequest& request,
+                                std::string* message) {
+  if (message != nullptr) message->clear();
+  if (request.graph == nullptr) {
+    if (message != nullptr) *message = "request carries no graph";
+    return AdmissionError::kBadRequest;
+  }
+  if (!graph::is_dag(*request.graph)) {
+    if (message != nullptr) *message = "graph is not a DAG";
+    return AdmissionError::kCycle;
+  }
+  try {
+    validate_aco_params(request.params);
+  } catch (const support::CheckError& e) {
+    if (message != nullptr) {
+      // CheckError's text ends in "at <abs-path>:<line>"; strip that so
+      // the wire message is stable across checkouts (golden transcripts
+      // diff these bytes).
+      std::string what = e.what();
+      if (const auto pos = what.rfind(" at /"); pos != std::string::npos) {
+        what.resize(pos);
+      }
+      *message = std::move(what);
+    }
+    return AdmissionError::kBadParam;
+  }
+  return AdmissionError::kNone;
+}
+
+SolveOutcome solve(const SolveRequest& request) {
+  SolveOutcome outcome;
+  outcome.error = validate_request(request, &outcome.message);
+  if (!outcome.ok()) return outcome;
+  ColonyWorkspace ws;
+  outcome.result =
+      run_validated_colony(*request.graph, request.params, ws, request.warm_tau);
+  return outcome;
+}
+
+}  // namespace acolay::core

@@ -1,0 +1,99 @@
+// The unified request/response surface of the solver (PR 7 API redesign).
+//
+// Every entry point into the colony engine — the one-shot solve() below
+// (and AntColony::run() behind it), BatchSolver::submit, and the serving
+// layer's wire protocol — consumes one core::SolveRequest and reports
+// admission failures as structured AdmissionError codes in a
+// core::SolveOutcome, instead of the three call sites each throwing bare
+// exceptions with inconsistent messages. The throwing constructors/submit
+// overloads remain as thin deprecated shims so existing callers compile;
+// new code should prefer the request path.
+//
+// A request carries the full scheduling envelope (deadline, priority,
+// warm-start hook). The core solvers deliberately ignore the scheduling
+// fields — they are honored by the serving layer's request queue
+// (src/server/, docs/SERVING.md) — so the same struct travels unchanged
+// from the wire to the colony.
+#pragma once
+
+#include <string>
+
+#include "core/colony.hpp"
+#include "core/params.hpp"
+#include "graph/digraph.hpp"
+
+namespace acolay::core {
+
+/// Structured admission verdict shared by every solver entry point. The
+/// first two are produced by validate_request(); the remaining codes are
+/// produced by the serving layer's queue and framing (they are defined
+/// here so one enum travels the whole stack).
+enum class AdmissionError {
+  kNone = 0,         ///< admitted
+  kCycle,            ///< the graph is not a DAG
+  kBadParam,         ///< AcoParams outside the validated ranges
+  kBadRequest,       ///< malformed or oversized frame (serving layer)
+  kOverloaded,       ///< request queue full — backpressure (serving layer)
+  kDeadlineExpired,  ///< deadline passed before dispatch (serving layer)
+  kInternal,         ///< unexpected solver failure (serving layer)
+};
+
+/// Stable wire identifier of an AdmissionError ("cycle", "bad_param",
+/// "bad_request", "overloaded", "deadline_expired", "internal"; "ok" for
+/// kNone) — part of the response schema in docs/SERVING.md.
+const char* admission_error_code(AdmissionError error);
+
+/// One layering request: the graph, the search parameters, and the
+/// scheduling envelope. The graph is borrowed — the caller keeps it alive
+/// until the outcome has been produced (BatchSolver: until collected).
+struct SolveRequest {
+  /// The DAG to layer. Must be non-null at every entry point.
+  const graph::Digraph* graph = nullptr;
+
+  /// Search tunables, seed included (validated by validate_request).
+  AcoParams params;
+
+  /// Relative deadline in seconds from admission; <= 0 means none. Only
+  /// the serving layer's queue honors it (expired requests are shed
+  /// before solving, never mid-solve); the core solvers ignore it.
+  double deadline_seconds = 0.0;
+
+  /// Queue priority: higher dispatches first, ties in arrival order.
+  /// Honored by the serving layer's queue; the core solvers ignore it.
+  int priority = 0;
+
+  /// Warm-pheromone hook (see run_colony's tau_io contract): when
+  /// non-null the run starts from this matrix if its shape matches and
+  /// writes the final matrix back. The caller must not share one matrix
+  /// between concurrent solves. Warm chains are excluded from the
+  /// bit-identity serving contract (docs/SERVING.md).
+  PheromoneMatrix* warm_tau = nullptr;
+};
+
+/// What a request produced: either a result (error == kNone) or a
+/// structured admission/solve error with a human-readable message.
+struct SolveOutcome {
+  /// Admission verdict; kNone means `result` is valid.
+  AdmissionError error = AdmissionError::kNone;
+  /// Human-readable detail for failed requests (empty on success).
+  std::string message;
+  /// The colony's result; default-constructed unless error == kNone.
+  AcoResult result;
+
+  /// Whether the request was admitted and solved.
+  bool ok() const { return error == AdmissionError::kNone; }
+};
+
+/// The shared admission gate: checks the graph (present, acyclic) and the
+/// params ranges. Returns the verdict and, when `message` is non-null,
+/// fills it with the failure detail (cleared on success). Never throws.
+AdmissionError validate_request(const SolveRequest& request,
+                                std::string* message);
+
+/// One-shot structured solve: validates, freezes a CSR snapshot, runs the
+/// colony (per params.num_threads), and returns the outcome. Admission
+/// failures come back as codes, never exceptions — the request-path
+/// counterpart of constructing an AntColony and calling run().
+SolveOutcome solve(const SolveRequest& request);
+
+}  // namespace acolay::core

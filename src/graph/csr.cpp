@@ -1,6 +1,21 @@
 #include "graph/csr.hpp"
 
+#include <bit>
+
+#include "support/rng.hpp"
+
 namespace acolay::graph {
+
+namespace {
+
+/// One splitmix64 step as a pure mixing function (the same primitive the
+/// RNG layer seeds with, so the avalanche quality is shared and audited in
+/// one place).
+std::uint64_t mix(std::uint64_t value) {
+  return support::splitmix64(value);  // by-value copy: state not retained
+}
+
+}  // namespace
 
 void CsrView::rebuild(const Digraph& g) {
   const std::size_t n = g.num_vertices();
@@ -31,6 +46,30 @@ void CsrView::rebuild(const Digraph& g) {
     for (const VertexId p : g.predecessors(v)) in_sources_.push_back(p);
     in_offsets_[i + 1] = in_sources_.size();
   }
+}
+
+std::uint64_t CsrView::fingerprint() const {
+  // Version tag: bump if the folding scheme ever changes deliberately —
+  // the pinned-value test in tests/graph_csr_test.cpp must change with it.
+  std::uint64_t h = mix(0x61636f6c'61793031ULL);  // "acolay01"
+  h = mix(h ^ static_cast<std::uint64_t>(num_vertices_));
+  for (VertexId v = 0; static_cast<std::size_t>(v) < num_vertices_; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    // Commutative fold of the successor set: the sum makes the result
+    // independent of adjacency-list order (see the header contract).
+    // Parallel edges are impossible (Digraph rejects them), so the sum
+    // cannot cancel duplicates.
+    std::uint64_t edge_fold = 0;
+    for (const VertexId w : successors(v)) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(w));
+      edge_fold += mix(key);
+    }
+    h = mix(h ^ std::bit_cast<std::uint64_t>(width_[i]));
+    h = mix(h ^ edge_fold);
+  }
+  return h;
 }
 
 }  // namespace acolay::graph

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,24 @@ class CsrView {
 
   /// The whole width array (index = vertex id).
   std::span<const double> widths() const { return width_; }
+
+  /// Canonical 64-bit hash of the snapshot's *logical* graph — the dedup
+  /// key of the serving layer's graph cache (docs/SERVING.md).
+  ///
+  /// Covered: vertex count, every directed edge, and every vertex width
+  /// (bit pattern of the double). Not covered: labels (they never affect a
+  /// solve) and adjacency-list order — each vertex's successor set is
+  /// folded with a commutative sum, so the same Digraph built with edges
+  /// added in any order fingerprints identically. Vertex ids are part of
+  /// the identity (a relabelled graph is a different layering problem).
+  ///
+  /// Adjacency order *does* affect solver results (BFS orders,
+  /// accumulation order), so equal fingerprints mean "same logical graph",
+  /// not "bit-identical solve": cache consumers must confirm with an exact
+  /// Digraph comparison before sharing results. The value is pinned by
+  /// tests/graph_csr_test.cpp so it cannot silently change across
+  /// refactors (cached/persisted keys would go stale).
+  std::uint64_t fingerprint() const;
 
  private:
   void check_vertex([[maybe_unused]] VertexId v) const {

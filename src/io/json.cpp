@@ -67,16 +67,18 @@ std::string to_json(const layering::Layering& l) {
 }
 
 std::string to_json(const layering::LayeringMetrics& m) {
+  // Doubles go through json_number (round-trip precision): a consumer of
+  // the serving layer's responses must read back the exact objective the
+  // solver computed, not a 12-digit approximation.
   std::ostringstream os;
-  os.precision(12);
   os << "{\"height\":" << m.height
-     << ",\"width_incl_dummies\":" << m.width_incl_dummies
-     << ",\"width_excl_dummies\":" << m.width_excl_dummies
+     << ",\"width_incl_dummies\":" << json_number(m.width_incl_dummies)
+     << ",\"width_excl_dummies\":" << json_number(m.width_excl_dummies)
      << ",\"dummy_count\":" << m.dummy_count
      << ",\"total_span\":" << m.total_span
      << ",\"edge_density\":" << m.edge_density
-     << ",\"edge_density_norm\":" << m.edge_density_norm
-     << ",\"objective\":" << m.objective << '}';
+     << ",\"edge_density_norm\":" << json_number(m.edge_density_norm)
+     << ",\"objective\":" << json_number(m.objective) << '}';
   return os.str();
 }
 

@@ -1,7 +1,8 @@
 // JSON export of graphs, layerings, metrics, and benchmark reports — the
-// exchange format for notebooks/dashboards consuming acolay results. Writer
-// only (acolay never needs to read its own reports back; scripts/ parse
-// them with Python); strings are escaped per RFC 8259.
+// exchange format for notebooks/dashboards consuming acolay results.
+// Writer side only; the strict parse-side counterpart the serving layer
+// uses for inbound frames is io/json_reader.hpp. Strings are escaped per
+// RFC 8259.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,477 @@
+#include "io/json_reader.hpp"
+
+#include <charconv>
+#include <cstddef>
+#include <limits>
+#include <system_error>
+
+#include "support/check.hpp"
+
+namespace acolay::io {
+
+bool JsonValue::as_bool() const {
+  ACOLAY_CHECK_MSG(is_bool(), "JsonValue is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  ACOLAY_CHECK_MSG(is_number(), "JsonValue is not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  const auto v = try_int64();
+  ACOLAY_CHECK_MSG(v.has_value(), "JsonValue is not an exact int64");
+  return *v;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  const auto v = try_uint64();
+  ACOLAY_CHECK_MSG(v.has_value(), "JsonValue is not an exact uint64");
+  return *v;
+}
+
+const std::string& JsonValue::as_string() const {
+  ACOLAY_CHECK_MSG(is_string(), "JsonValue is not a string");
+  return string_;
+}
+
+namespace {
+
+/// Exact-integer re-parse of a number lexeme: the whole lexeme must be
+/// consumed (so "1.5" and "1e3" are rejected rather than truncated).
+template <typename Int>
+std::optional<Int> lexeme_to_int(const std::string& lexeme) {
+  Int value{};
+  const char* first = lexeme.data();
+  const char* last = first + lexeme.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> JsonValue::try_int64() const {
+  if (!is_number()) return std::nullopt;
+  return lexeme_to_int<std::int64_t>(string_);
+}
+
+std::optional<std::uint64_t> JsonValue::try_uint64() const {
+  if (!is_number()) return std::nullopt;
+  return lexeme_to_int<std::uint64_t>(string_);
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return elements_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  ACOLAY_CHECK_MSG(is_array(), "JsonValue is not an array");
+  ACOLAY_CHECK_MSG(i < elements_.size(),
+                   "JsonValue index " << i << " out of range");
+  return elements_[i];
+}
+
+const std::vector<JsonValue>& JsonValue::elements() const {
+  ACOLAY_CHECK_MSG(is_array(), "JsonValue is not an array");
+  return elements_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  ACOLAY_CHECK_MSG(is_object(), "JsonValue is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent RFC 8259 parser. Private to the .cpp; befriended by
+/// JsonValue so it can fill the tree without public mutators (the parsed
+/// value is immutable to everyone else).
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, const JsonLimits& limits,
+             JsonParseError* error)
+      : text_(text), limits_(limits), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    if (text_.size() > limits_.max_bytes) {
+      fail(0, "document exceeds max_bytes");
+      return std::nullopt;
+    }
+    JsonValue root;
+    skip_ws();
+    if (!parse_value(root, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(pos_, "trailing characters after the document");
+      return std::nullopt;
+    }
+    return root;
+  }
+
+ private:
+  bool fail(std::size_t offset, const char* message) {
+    if (error_ != nullptr && !failed_) {
+      error_->offset = offset;
+      error_->message = message;
+    }
+    failed_ = true;
+    return false;
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected, const char* what) {
+    if (at_end() || peek() != expected) return fail(pos_, what);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > limits_.max_depth) {
+      return fail(pos_, "nesting exceeds max_depth");
+    }
+    if (at_end()) return fail(pos_, "unexpected end of document");
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      case 't':
+        return parse_literal("true", [&out] {
+          out.kind_ = JsonValue::Kind::kBool;
+          out.bool_ = true;
+        });
+      case 'f':
+        return parse_literal("false", [&out] {
+          out.kind_ = JsonValue::Kind::kBool;
+          out.bool_ = false;
+        });
+      case 'n':
+        return parse_literal("null",
+                             [&out] { out.kind_ = JsonValue::Kind::kNull; });
+      default:
+        return parse_number(out);
+    }
+  }
+
+  template <typename Apply>
+  bool parse_literal(std::string_view word, Apply apply) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail(pos_, "invalid literal");
+    }
+    pos_ += word.size();
+    apply();
+    return true;
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '{'
+    out.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') {
+        return fail(pos_, "expected object key string");
+      }
+      JsonValue::Member member;
+      if (!parse_string(member.first)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':' after object key")) return false;
+      skip_ws();
+      if (!parse_value(member.second, depth + 1)) return false;
+      out.members_.push_back(std::move(member));
+      skip_ws();
+      if (at_end()) return fail(pos_, "unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail(pos_, "expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '['
+    out.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.elements_.push_back(std::move(element));
+      skip_ws();
+      if (at_end()) return fail(pos_, "unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail(pos_, "expected ',' or ']' in array");
+    }
+  }
+
+  /// One \uXXXX escape's code unit; advances past the four hex digits.
+  bool parse_hex4(std::uint32_t& unit) {
+    if (pos_ + 4 > text_.size()) {
+      return fail(pos_, "truncated \\u escape");
+    }
+    unit = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail(pos_, "invalid hex digit in \\u escape");
+      }
+      unit = (unit << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// Raw (unescaped) multi-byte UTF-8 sequence starting at pos_: validates
+  /// length, continuation bytes, overlong forms, surrogates, and the
+  /// U+10FFFF ceiling, copying the bytes through on success.
+  bool parse_utf8_sequence(std::string& out) {
+    const auto lead = static_cast<unsigned char>(text_[pos_]);
+    std::size_t len = 0;
+    std::uint32_t cp = 0;
+    if ((lead & 0xE0) == 0xC0) {
+      len = 2;
+      cp = lead & 0x1FU;
+    } else if ((lead & 0xF0) == 0xE0) {
+      len = 3;
+      cp = lead & 0x0FU;
+    } else if ((lead & 0xF8) == 0xF0) {
+      len = 4;
+      cp = lead & 0x07U;
+    } else {
+      return fail(pos_, "invalid UTF-8 lead byte");
+    }
+    if (pos_ + len > text_.size()) {
+      return fail(pos_, "truncated UTF-8 sequence");
+    }
+    for (std::size_t i = 1; i < len; ++i) {
+      const auto cont = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((cont & 0xC0) != 0x80) {
+        return fail(pos_ + i, "invalid UTF-8 continuation byte");
+      }
+      cp = (cp << 6) | (cont & 0x3FU);
+    }
+    const bool overlong = (len == 2 && cp < 0x80) ||
+                          (len == 3 && cp < 0x800) ||
+                          (len == 4 && cp < 0x10000);
+    if (overlong || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return fail(pos_, "invalid UTF-8 code point");
+    }
+    out.append(text_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening '"'
+    out.clear();
+    while (true) {
+      if (at_end()) return fail(pos_, "unterminated string");
+      const char c = peek();
+      const auto byte = static_cast<unsigned char>(c);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (at_end()) return fail(pos_, "truncated escape");
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            std::uint32_t unit = 0;
+            if (!parse_hex4(unit)) return false;
+            if (unit >= 0xDC00 && unit <= 0xDFFF) {
+              return fail(pos_ - 4, "lone low surrogate");
+            }
+            if (unit >= 0xD800 && unit <= 0xDBFF) {
+              // High surrogate: the pair's low half must follow directly.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return fail(pos_, "high surrogate without pair");
+              }
+              pos_ += 2;
+              std::uint32_t low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return fail(pos_ - 4, "invalid low surrogate");
+              }
+              const std::uint32_t cp = 0x10000 +
+                                       ((unit - 0xD800) << 10) +
+                                       (low - 0xDC00);
+              append_utf8(out, cp);
+            } else {
+              append_utf8(out, unit);
+            }
+            break;
+          }
+          default:
+            return fail(pos_ - 1, "invalid escape character");
+        }
+        continue;
+      }
+      if (byte < 0x20) {
+        return fail(pos_, "unescaped control character in string");
+      }
+      if (byte < 0x80) {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (!parse_utf8_sequence(out)) return false;
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    // Integer part: "0" or [1-9][0-9]* — leading zeros are a syntax error.
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return fail(pos_, "invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail(pos_, "digits required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail(pos_, "digits required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view lexeme = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), value);
+    // The grammar above is a subset of from_chars's; only range errors can
+    // remain. Out-of-range magnitudes saturate rather than fail, matching
+    // common JSON practice (1e999 -> inf is still a number the caller's
+    // range checks then reject).
+    if (ec == std::errc::result_out_of_range) {
+      value = lexeme[0] == '-' ? -std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::infinity();
+    } else if (ec != std::errc{} || ptr != lexeme.data() + lexeme.size()) {
+      return fail(start, "invalid number");
+    }
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = value;
+    out.string_.assign(lexeme);
+    return true;
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  JsonParseError* error_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    JsonParseError* error,
+                                    const JsonLimits& limits) {
+  return JsonParser(text, limits, error).parse();
+}
+
+}  // namespace acolay::io

@@ -1,0 +1,116 @@
+// Parse-side counterpart of io::JsonWriter (PR 7): a minimal strict JSON
+// reader for the serving layer's wire protocol (docs/SERVING.md).
+//
+// Strict RFC 8259: one complete document per parse (trailing garbage is an
+// error), no comments, no trailing commas, no NaN/Inf literals, strings
+// must be well-formed UTF-8 with valid escapes (lone surrogates rejected).
+// Malformed input NEVER throws, crashes, or hangs — parse_json returns
+// std::nullopt and reports the byte offset and reason through
+// JsonParseError; resource abuse (deep nesting, oversized documents) is
+// cut off by JsonLimits. That containment is what lets acolay_serve feed
+// untrusted stdin frames straight into the parser (fuzzed by
+// tests/io_json_reader_test.cpp).
+//
+// Documents are materialized as a JsonValue tree. Object members keep
+// their document order (no hash containers — house determinism rule), and
+// lookups are linear scans: protocol frames have a handful of keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acolay::io {
+
+/// Resource bounds enforced during parsing, so hostile input cannot
+/// exhaust the stack or memory before the server's own size checks run.
+struct JsonLimits {
+  /// Maximum container nesting depth (parser recursion is bounded by it).
+  std::size_t max_depth = 64;
+  /// Maximum input size in bytes; longer documents are rejected up front.
+  std::size_t max_bytes = std::size_t{64} << 20;  // 64 MiB
+};
+
+/// Where and why a parse failed (byte offset into the input).
+struct JsonParseError {
+  std::size_t offset = 0;  ///< byte offset of the offending character
+  std::string message;     ///< human-readable reason
+};
+
+/// One parsed JSON value: null, bool, number, string, array, or object.
+/// Numbers keep their exact source lexeme alongside the double, so 64-bit
+/// integers (e.g. RNG seeds) survive without going through a double.
+class JsonValue {
+ public:
+  /// The JSON type of a value.
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Document-ordered object member.
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// A null value.
+  JsonValue() = default;
+
+  /// The JSON type of this value.
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }      ///< kind test
+  bool is_bool() const { return kind_ == Kind::kBool; }      ///< kind test
+  bool is_number() const { return kind_ == Kind::kNumber; }  ///< kind test
+  bool is_string() const { return kind_ == Kind::kString; }  ///< kind test
+  bool is_array() const { return kind_ == Kind::kArray; }    ///< kind test
+  bool is_object() const { return kind_ == Kind::kObject; }  ///< kind test
+
+  /// The boolean (requires is_bool; ACOLAY_CHECK otherwise).
+  bool as_bool() const;
+  /// The number as a double (requires is_number).
+  double as_double() const;
+  /// The number as an exact int64; fails (CheckError) if the lexeme has a
+  /// fraction/exponent or overflows. Use the optional try_* form for
+  /// untrusted input.
+  std::int64_t as_int64() const;
+  /// Like as_int64 for uint64 (also rejects negatives).
+  std::uint64_t as_uint64() const;
+  /// The string (requires is_string).
+  const std::string& as_string() const;
+
+  /// Exact-integer view of a number: nullopt when this is not a number,
+  /// has a fraction/exponent, or does not fit the target type.
+  std::optional<std::int64_t> try_int64() const;
+  /// Unsigned variant of try_int64 (negatives are nullopt).
+  std::optional<std::uint64_t> try_uint64() const;
+
+  /// Elements of an array / members of an object; 0 for scalars.
+  std::size_t size() const;
+  /// Array element `i` (requires is_array and i < size).
+  const JsonValue& operator[](std::size_t i) const;
+  /// The elements (requires is_array).
+  const std::vector<JsonValue>& elements() const;
+  /// The members in document order (requires is_object).
+  const std::vector<Member>& members() const;
+  /// First member named `key`, or nullptr — the protocol's field lookup.
+  /// Linear scan; nullptr for non-objects too, so lookups chain safely.
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  /// String payload, or the verbatim number lexeme for Kind::kNumber.
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<Member> members_;
+};
+
+/// Parses one complete JSON document. Returns the value, or std::nullopt
+/// with `*error` filled (when non-null) on any syntax error, encoding
+/// error, or exceeded limit. Never throws on malformed input.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    JsonParseError* error = nullptr,
+                                    const JsonLimits& limits = {});
+
+}  // namespace acolay::io

@@ -1,0 +1,335 @@
+#include "server/protocol.hpp"
+
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "io/json.hpp"
+#include "io/json_reader.hpp"
+
+namespace acolay::server {
+
+namespace {
+
+using core::AdmissionError;
+using io::JsonValue;
+
+/// Exact int from a JSON number within `int` range.
+std::optional<int> to_int(const JsonValue& v) {
+  const auto wide = v.try_int64();
+  if (!wide || *wide < std::numeric_limits<int>::min() ||
+      *wide > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*wide);
+}
+
+/// Overlay of one "params" member onto `params`. kNone on success.
+AdmissionError apply_param(const std::string& key, const JsonValue& v,
+                           core::AcoParams& params, std::string& message) {
+  const auto bad = [&](const char* want) {
+    message = "params." + key + " must be " + want;
+    return AdmissionError::kBadParam;
+  };
+  const auto as_int = [&](int& out) {
+    const auto i = to_int(v);
+    if (!i) return bad("an integer");
+    out = *i;
+    return AdmissionError::kNone;
+  };
+  const auto as_double = [&](double& out) {
+    if (!v.is_number()) return bad("a number");
+    out = v.as_double();
+    return AdmissionError::kNone;
+  };
+  const auto as_enum = [&](auto& out, auto... choices) {
+    if (!v.is_string()) return bad("a string");
+    const std::string& word = v.as_string();
+    bool matched = false;
+    (..., (word == choices.first ? (out = choices.second, matched = true)
+                                 : false));
+    if (!matched) {
+      message = "params." + key + ": unknown value \"" + word + "\"";
+      return AdmissionError::kBadParam;
+    }
+    return AdmissionError::kNone;
+  };
+
+  if (key == "num_ants") return as_int(params.num_ants);
+  if (key == "num_tours") return as_int(params.num_tours);
+  if (key == "stagnation_tours") return as_int(params.stagnation_tours);
+  if (key == "alpha") return as_double(params.alpha);
+  if (key == "beta") return as_double(params.beta);
+  if (key == "rho") return as_double(params.rho);
+  if (key == "tau0") return as_double(params.tau0);
+  if (key == "deposit") return as_double(params.deposit);
+  if (key == "dummy_width") return as_double(params.dummy_width);
+  if (key == "eta_epsilon") return as_double(params.eta_epsilon);
+  if (key == "max_width") return as_double(params.max_width);
+  if (key == "tau_min") return as_double(params.tau_min);
+  if (key == "tau_max") return as_double(params.tau_max);
+  if (key == "seed") {
+    const auto s = v.try_uint64();
+    if (!s) return bad("a non-negative integer");
+    params.seed = *s;
+    return AdmissionError::kNone;
+  }
+  if (key == "selection") {
+    return as_enum(params.selection,
+                   std::pair{"greedy_max", core::SelectionRule::kGreedyMax},
+                   std::pair{"roulette", core::SelectionRule::kRoulette});
+  }
+  if (key == "tie_break") {
+    return as_enum(params.tie_break,
+                   std::pair{"random", core::TieBreak::kRandom},
+                   std::pair{"first", core::TieBreak::kFirst});
+  }
+  if (key == "order") {
+    return as_enum(params.order,
+                   std::pair{"random", core::VertexOrder::kRandom},
+                   std::pair{"bfs", core::VertexOrder::kBfs});
+  }
+  if (key == "stretch") {
+    return as_enum(params.stretch,
+                   std::pair{"between_layers", core::StretchMode::kBetweenLayers},
+                   std::pair{"top_bottom", core::StretchMode::kTopBottom},
+                   std::pair{"none", core::StretchMode::kNone});
+  }
+  if (key == "stagnation") {
+    return as_enum(
+        params.stagnation, std::pair{"none", core::StagnationPolicy::kNone},
+        std::pair{"stop", core::StagnationPolicy::kStop},
+        std::pair{"reset_pheromone", core::StagnationPolicy::kResetPheromone});
+  }
+  // num_threads and record_trace are server-controlled (jobs run serially
+  // inside BatchSolver tasks; traces are never returned), so they are
+  // unknown on the wire like any other stray key.
+  message = "unknown params key \"" + key + "\"";
+  return AdmissionError::kBadParam;
+}
+
+/// Materializes the "graph" object into `out.graph`. kNone on success.
+AdmissionError parse_graph(const JsonValue& spec, const RequestLimits& limits,
+                           graph::Digraph& g, std::string& message) {
+  if (!spec.is_object()) {
+    message = "\"graph\" must be an object";
+    return AdmissionError::kBadRequest;
+  }
+  const JsonValue* num_vertices = nullptr;
+  const JsonValue* edges = nullptr;
+  const JsonValue* widths = nullptr;
+  for (const auto& [key, value] : spec.members()) {
+    if (key == "num_vertices") {
+      num_vertices = &value;
+    } else if (key == "edges") {
+      edges = &value;
+    } else if (key == "widths") {
+      widths = &value;
+    } else {
+      message = "unknown graph key \"" + key + "\"";
+      return AdmissionError::kBadRequest;
+    }
+  }
+  if (num_vertices == nullptr) {
+    message = "graph.num_vertices is required";
+    return AdmissionError::kBadRequest;
+  }
+  const auto n = num_vertices->try_int64();
+  if (!n || *n < 0) {
+    message = "graph.num_vertices must be a non-negative integer";
+    return AdmissionError::kBadRequest;
+  }
+  if (static_cast<std::size_t>(*n) > limits.max_vertices) {
+    message = "graph.num_vertices exceeds the server limit";
+    return AdmissionError::kBadRequest;
+  }
+  g = graph::Digraph(static_cast<std::size_t>(*n));
+
+  if (widths != nullptr) {
+    if (!widths->is_array() ||
+        widths->size() != static_cast<std::size_t>(*n)) {
+      message = "graph.widths must be an array of num_vertices numbers";
+      return AdmissionError::kBadRequest;
+    }
+    for (std::size_t i = 0; i < widths->size(); ++i) {
+      const JsonValue& w = (*widths)[i];
+      if (!w.is_number() || !(w.as_double() >= 0.0)) {
+        message = "graph.widths entries must be non-negative numbers";
+        return AdmissionError::kBadRequest;
+      }
+      g.set_width(static_cast<graph::VertexId>(i), w.as_double());
+    }
+  }
+
+  if (edges != nullptr) {
+    if (!edges->is_array()) {
+      message = "graph.edges must be an array of [source, target] pairs";
+      return AdmissionError::kBadRequest;
+    }
+    if (edges->size() > limits.max_edges) {
+      message = "graph.edges exceeds the server limit";
+      return AdmissionError::kBadRequest;
+    }
+    for (std::size_t i = 0; i < edges->size(); ++i) {
+      const JsonValue& e = (*edges)[i];
+      std::optional<int> u, v;
+      if (e.is_array() && e.size() == 2) {
+        u = to_int(e[0]);
+        v = to_int(e[1]);
+      }
+      if (!u || !v) {
+        message = "graph.edges entries must be [source, target] id pairs";
+        return AdmissionError::kBadRequest;
+      }
+      if (*u < 0 || *v < 0 || *u >= *n || *v >= *n) {
+        message = "graph edge references a vertex id out of range";
+        return AdmissionError::kBadRequest;
+      }
+      if (*u == *v) {
+        // A self-loop is the smallest cycle; report it as one so clients
+        // get the same code as for any other non-DAG input.
+        message = "graph contains a self-loop";
+        return AdmissionError::kCycle;
+      }
+      if (!g.add_edge(*u, *v)) {
+        message = "graph contains a duplicate edge";
+        return AdmissionError::kBadRequest;
+      }
+    }
+  }
+  return AdmissionError::kNone;
+}
+
+}  // namespace
+
+core::AdmissionError parse_request_line(std::string_view line,
+                                        const RequestLimits& limits,
+                                        ParsedRequest& out,
+                                        std::string& message) {
+  out = ParsedRequest{};
+  // The server never returns traces, so recording one would be pure waste;
+  // forced here (not client-settable) so the dedup cache's params equality
+  // cannot split on it either.
+  out.params.record_trace = false;
+  message.clear();
+
+  if (line.size() > limits.max_line_bytes) {
+    message = "frame exceeds max_line_bytes";
+    return AdmissionError::kBadRequest;
+  }
+  io::JsonParseError parse_error;
+  io::JsonLimits json_limits;
+  json_limits.max_bytes = limits.max_line_bytes;
+  const auto doc = io::parse_json(line, &parse_error, json_limits);
+  if (!doc) {
+    message = "invalid JSON at byte " + std::to_string(parse_error.offset) +
+              ": " + parse_error.message;
+    return AdmissionError::kBadRequest;
+  }
+  if (!doc->is_object()) {
+    message = "request frame must be a JSON object";
+    return AdmissionError::kBadRequest;
+  }
+  // Best-effort id first: every later rejection can then still be
+  // correlated by the caller.
+  if (const JsonValue* id = doc->find("id"); id != nullptr && id->is_string()) {
+    out.id = id->as_string();
+  }
+
+  const JsonValue* graph_spec = nullptr;
+  const JsonValue* params_spec = nullptr;
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "id") {
+      if (!value.is_string()) {
+        message = "\"id\" must be a string";
+        return AdmissionError::kBadRequest;
+      }
+    } else if (key == "graph") {
+      graph_spec = &value;
+    } else if (key == "params") {
+      params_spec = &value;
+    } else if (key == "deadline_seconds") {
+      if (!value.is_number()) {
+        message = "\"deadline_seconds\" must be a number";
+        return AdmissionError::kBadRequest;
+      }
+      out.deadline_seconds = value.as_double();
+    } else if (key == "priority") {
+      const auto p = to_int(value);
+      if (!p) {
+        message = "\"priority\" must be an integer";
+        return AdmissionError::kBadRequest;
+      }
+      out.priority = *p;
+    } else if (key == "warm") {
+      if (!value.is_bool()) {
+        message = "\"warm\" must be a boolean";
+        return AdmissionError::kBadRequest;
+      }
+      out.warm = value.as_bool();
+    } else {
+      message = "unknown request key \"" + key + "\"";
+      return AdmissionError::kBadRequest;
+    }
+  }
+  if (out.id.empty()) {
+    message = "\"id\" (non-empty string) is required";
+    return AdmissionError::kBadRequest;
+  }
+  if (graph_spec == nullptr) {
+    message = "\"graph\" is required";
+    return AdmissionError::kBadRequest;
+  }
+  if (const AdmissionError e =
+          parse_graph(*graph_spec, limits, out.graph, message);
+      e != AdmissionError::kNone) {
+    return e;
+  }
+  if (params_spec != nullptr) {
+    if (!params_spec->is_object()) {
+      message = "\"params\" must be an object";
+      return AdmissionError::kBadRequest;
+    }
+    for (const auto& [key, value] : params_spec->members()) {
+      if (const AdmissionError e =
+              apply_param(key, value, out.params, message);
+          e != AdmissionError::kNone) {
+        return e;
+      }
+    }
+  }
+  return AdmissionError::kNone;
+}
+
+std::string render_result_response(const std::string& id,
+                                   const core::AcoResult& result,
+                                   bool deduped, double seconds) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", std::string(kServeSchema));
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.kv("deduped", deduped);
+  w.key("layering").raw(io::to_json(result.layering));
+  w.key("metrics").raw(io::to_json(result.metrics));
+  w.kv("initial_objective", result.initial_objective);
+  if (seconds >= 0.0) w.kv("seconds", seconds);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_error_response(const std::string& id,
+                                  core::AdmissionError error,
+                                  const std::string& message) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", std::string(kServeSchema));
+  w.kv("id", id);
+  w.kv("status", "rejected");
+  w.kv("error", core::admission_error_code(error));
+  w.kv("message", message);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace acolay::server

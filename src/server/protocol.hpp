@@ -1,0 +1,85 @@
+// Wire protocol of acolay_serve (docs/SERVING.md): newline-delimited JSON
+// frames, one request or response object per line.
+//
+// Request frame:
+//   {"id": "<caller token>",
+//    "graph": {"num_vertices": n,
+//              "edges": [[u, v], ...],          // u -> v, 0-based ids
+//              "widths": [w0, ...]},            // optional, default 1.0
+//    "params": {...},                           // optional AcoParams subset
+//    "deadline_seconds": 0.25,                  // optional, relative
+//    "priority": 3,                             // optional, default 0
+//    "warm": true}                              // optional warm-tau opt-in
+//
+// Response frame (schema-versioned; see kServeSchema):
+//   {"schema": "...", "id": "...", "status": "ok", "deduped": false,
+//    "layering": {...}, "metrics": {...}[, "seconds": ...]}
+//   {"schema": "...", "id": "...", "status": "rejected",
+//    "error": "<admission_error_code>", "message": "..."}
+//
+// Parsing is strict: unknown keys, wrong types, duplicate/self-loop edges,
+// or out-of-range ids reject the frame with a structured error instead of
+// guessing — a golden-transcript protocol cannot afford leniency drift.
+// Frame-shape problems map to kBadRequest; params-content problems to
+// kBadParam; a self-loop to kCycle (it is one). Malformed input never
+// throws (pinned by tests/server_protocol_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/request.hpp"
+#include "graph/digraph.hpp"
+
+namespace acolay::server {
+
+/// Response schema identifier, bumped on any incompatible change to the
+/// response frames above.
+inline constexpr std::string_view kServeSchema = "acolay.serve/1";
+
+/// Resource bounds a request frame must fit (checked before the graph is
+/// materialized, so an oversized frame costs its text, not its graph).
+struct RequestLimits {
+  std::size_t max_line_bytes = std::size_t{8} << 20;  ///< frame size cap
+  std::size_t max_vertices = 1 << 20;                 ///< graph size cap
+  std::size_t max_edges = std::size_t{1} << 22;       ///< edge count cap
+};
+
+/// A successfully parsed request frame: the owned graph plus the solve
+/// envelope (core::SolveRequest is assembled by the session, which owns
+/// the graph's storage).
+struct ParsedRequest {
+  std::string id;             ///< caller's correlation token, echoed back
+  graph::Digraph graph;       ///< the DAG candidate (acyclicity checked
+                              ///< later by the shared admission gate)
+  core::AcoParams params;     ///< defaults overlaid with the frame's keys
+  double deadline_seconds = 0.0;  ///< relative deadline; <= 0 means none
+  int priority = 0;               ///< queue priority (higher first)
+  bool warm = false;              ///< warm-pheromone opt-in
+};
+
+/// Parses one request line. Returns kNone and fills `out` on success;
+/// otherwise returns the structured rejection and fills `message`. In
+/// both cases `out.id` carries the frame's id when one could be read
+/// (best effort on malformed frames, so the error response can still be
+/// correlated). Never throws on malformed input.
+core::AdmissionError parse_request_line(std::string_view line,
+                                        const RequestLimits& limits,
+                                        ParsedRequest& out,
+                                        std::string& message);
+
+/// Renders the success response for `id` (one line, no trailing newline).
+/// `seconds` < 0 omits the timing field — golden transcripts require
+/// byte-stable output, so timing is opt-in (ServeOptions::include_timing).
+std::string render_result_response(const std::string& id,
+                                   const core::AcoResult& result,
+                                   bool deduped, double seconds);
+
+/// Renders the rejection response for `id` (one line, no trailing
+/// newline).
+std::string render_error_response(const std::string& id,
+                                  core::AdmissionError error,
+                                  const std::string& message);
+
+}  // namespace acolay::server

@@ -1,0 +1,85 @@
+// acolay_serve: the layering daemon. Reads newline-delimited JSON request
+// frames from stdin, answers each with one response frame on stdout, in
+// arrival order (docs/SERVING.md documents the protocol). Exits 0 after
+// end-of-input once every request is answered.
+//
+// lint:allow-file(banned-include) -- the daemon's entry point IS the
+// stdio boundary; everything behind serve_stream stays stream-agnostic.
+#include <charconv>
+#include <iostream>
+#include <string_view>
+
+#include "server/session.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int exit_code) {
+  out << "usage: acolay_serve [options]\n"
+         "  --threads N       solver worker threads (0 = hardware, default)\n"
+         "  --queue-depth N   pending requests before 'overloaded' "
+         "(default 64)\n"
+         "  --max-inflight N  concurrent colonies (0 = worker count)\n"
+         "  --cache N         dedup result-cache capacity (default 64)\n"
+         "  --timing          include wall-clock seconds in responses\n"
+         "  --no-dedup        disable duplicate-request collapsing\n"
+         "  --no-warm         disable warm pheromone reuse\n"
+         "  --stats           print a stats summary to stderr on exit\n";
+  return exit_code;
+}
+
+bool parse_size(std::string_view text, std::size_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  acolay::server::ServeOptions options;
+  bool print_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> std::string_view {
+      return i + 1 < argc ? std::string_view(argv[++i]) : std::string_view();
+    };
+    std::size_t value = 0;
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--timing") {
+      options.include_timing = true;
+    } else if (arg == "--no-dedup") {
+      options.enable_dedup = false;
+    } else if (arg == "--no-warm") {
+      options.enable_warm = false;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--threads" && parse_size(next(), value)) {
+      options.num_threads = static_cast<int>(value);
+    } else if (arg == "--queue-depth" && parse_size(next(), value)) {
+      options.max_queue_depth = value;
+    } else if (arg == "--max-inflight" && parse_size(next(), value)) {
+      options.max_inflight = value;
+    } else if (arg == "--cache" && parse_size(next(), value)) {
+      options.result_cache_capacity = value;
+    } else {
+      std::cerr << "acolay_serve: bad argument '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  acolay::server::Server server(std::move(options));
+  acolay::server::serve_stream(std::cin, std::cout, server);
+
+  if (print_stats) {
+    const acolay::server::ServeStats& s = server.stats();
+    std::cerr << "acolay_serve: received=" << s.received
+              << " admitted=" << s.admitted << " solved=" << s.solved
+              << " dedup_shared=" << s.dedup_shared
+              << " dedup_cached=" << s.dedup_cached
+              << " warm_reused=" << s.warm_reused
+              << " rejected_invalid=" << s.rejected_invalid
+              << " rejected_overload=" << s.rejected_overload
+              << " rejected_deadline=" << s.rejected_deadline << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,356 @@
+#include "server/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "graph/csr.hpp"
+
+namespace acolay::server {
+
+namespace {
+
+using core::AdmissionError;
+
+core::BatchOptions solver_options(const ServeOptions& options) {
+  core::BatchOptions batch;
+  batch.num_threads = options.num_threads;
+  batch.derive_seeds = false;  // the wire seed is authoritative
+  return batch;
+}
+
+/// Adjacency-ORDER-sensitive graph comparison for the dedup guard.
+/// Digraph::operator== deliberately sorts adjacency (set equality), which
+/// is too weak here: BFS orders and float accumulation depend on the
+/// enumeration order, so two set-equal graphs with permuted adjacency can
+/// produce different (both correct) results. Sharing between them would
+/// break the served-equals-direct bit-identity contract. Labels are
+/// ignored — they never influence a solve.
+bool same_solve_input(const graph::Digraph& a, const graph::Digraph& b) {
+  const std::size_t n = a.num_vertices();
+  if (n != b.num_vertices() || a.num_edges() != b.num_edges()) return false;
+  for (graph::VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    if (a.width(v) != b.width(v)) return false;
+    const auto& sa = a.successors(v);
+    const auto& sb = b.successors(v);
+    if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(options),
+      clock_(options.clock ? std::move(options.clock)
+                           : ClockFn([this] {
+                               return stopwatch_.elapsed_seconds();
+                             })),
+      queue_(options.max_queue_depth),
+      solver_(solver_options(options)) {
+  max_inflight_ = options_.max_inflight == 0 ? solver_.num_threads()
+                                             : options_.max_inflight;
+  if (max_inflight_ == 0) max_inflight_ = 1;
+}
+
+void Server::reject(Entry& entry, AdmissionError error, std::string message) {
+  entry.outcome.error = error;
+  entry.outcome.message = std::move(message);
+  entry.state = State::kDone;
+}
+
+void Server::push_line(std::string_view line) {
+  ++stats_.received;
+  // Harvest/dispatch first so the overload check below sees the live
+  // queue, not one stale by everything that finished since the last push.
+  harvest();
+  dispatch();
+
+  const std::size_t index = entries_.size();
+  entries_.emplace_back();
+  Entry& entry = entries_.back();
+
+  ParsedRequest parsed;
+  std::string message;
+  const AdmissionError frame_error =
+      parse_request_line(line, options_.limits, parsed, message);
+  entry.id = parsed.id;  // best-effort echo even for malformed frames
+  if (frame_error != AdmissionError::kNone) {
+    ++stats_.rejected_invalid;
+    reject(entry, frame_error, std::move(message));
+    emit();
+    return;
+  }
+
+  // The shared admission gate (same code path as AntColony and direct
+  // BatchSolver use): cycles and out-of-range params are rejected here,
+  // before the request can occupy a queue slot.
+  core::SolveRequest probe;
+  probe.graph = &parsed.graph;
+  probe.params = parsed.params;
+  const AdmissionError gate_error = core::validate_request(probe, &message);
+  if (gate_error != AdmissionError::kNone) {
+    ++stats_.rejected_invalid;
+    reject(entry, gate_error, std::move(message));
+    emit();
+    return;
+  }
+
+  if (!queue_.push(index, parsed.priority)) {
+    ++stats_.rejected_overload;
+    reject(entry, AdmissionError::kOverloaded,
+           "request queue is full (max_queue_depth = " +
+               std::to_string(queue_.capacity()) + ")");
+    emit();
+    return;
+  }
+
+  entry.graph = std::move(parsed.graph);
+  entry.params = parsed.params;
+  entry.priority = parsed.priority;
+  entry.warm = parsed.warm && options_.enable_warm;
+  if (parsed.deadline_seconds > 0.0) {
+    entry.deadline_abs = clock_() + parsed.deadline_seconds;
+  }
+  entry.fingerprint = graph::CsrView(entry.graph).fingerprint();
+  entry.state = State::kQueued;
+  ++stats_.admitted;
+
+  dispatch();
+  emit();
+}
+
+Server::WarmSlot& Server::warm_slot(std::uint64_t fingerprint) {
+  for (WarmSlot& slot : warm_) {
+    if (slot.fingerprint == fingerprint) return slot;
+  }
+  warm_.emplace_back();
+  warm_.back().fingerprint = fingerprint;
+  return warm_.back();
+}
+
+bool Server::try_dedup(std::size_t index) {
+  Entry& entry = entries_[index];
+  // Warm requests want a fresh evolution step, not somebody else's result,
+  // so they neither join nor lead shared solves.
+  if (!options_.enable_dedup || entry.warm) return false;
+  for (const CacheSlot& slot : cache_) {
+    if (slot.fingerprint == entry.fingerprint &&
+        slot.params == entry.params &&
+        same_solve_input(slot.graph, entry.graph)) {
+      entry.outcome = slot.outcome;
+      entry.deduped = true;
+      entry.state = State::kDone;
+      ++stats_.dedup_cached;
+      return true;
+    }
+  }
+  for (const std::size_t leader : inflight_) {
+    const Entry& lead = entries_[leader];
+    if (lead.warm || lead.fingerprint != entry.fingerprint) continue;
+    if (lead.params == entry.params &&
+        same_solve_input(lead.graph, entry.graph)) {
+      entry.leader = leader;
+      entry.deduped = true;
+      entry.state = State::kFollower;
+      ++stats_.dedup_shared;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Server::dispatch() {
+  bool progress = false;
+  while (inflight_.size() < max_inflight_) {
+    const auto popped = queue_.pop();
+    if (!popped) break;
+    const std::size_t index = *popped;
+    Entry& entry = entries_[index];
+    progress = true;
+
+    // Deadline shedding happens here, at dispatch: a request that expired
+    // while queued is answered without ever running its colony. Dispatched
+    // colonies always run to completion (no mid-solve cancellation).
+    if (clock_() > entry.deadline_abs) {
+      ++stats_.rejected_deadline;
+      reject(entry, AdmissionError::kDeadlineExpired,
+             "deadline expired before dispatch");
+      continue;
+    }
+    if (try_dedup(index)) continue;
+
+    core::SolveRequest request;
+    request.graph = &entry.graph;
+    request.params = entry.params;
+    if (entry.warm) {
+      // One in-flight warm run per fingerprint: the matrix is written back
+      // by the worker, so a second concurrent warm run on the same slot
+      // would race. Latecomers run cold (and do not write back).
+      WarmSlot& slot = warm_slot(entry.fingerprint);
+      if (!slot.busy) {
+        slot.busy = true;
+        entry.warm_attached = true;
+        if (slot.tau.num_vertices() > 0) ++stats_.warm_reused;
+        request.warm_tau = &slot.tau;
+      }
+    }
+    entry.job = solver_.submit(request);
+    entry.state = State::kInflight;
+    inflight_.push_back(index);
+  }
+  return progress;
+}
+
+bool Server::harvest() {
+  bool progress = false;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    Entry& entry = entries_[*it];
+    if (!solver_.done(entry.job)) {
+      ++it;
+      continue;
+    }
+    entry.outcome = solver_.collect_outcome(entry.job);
+    entry.state = State::kDone;
+    ++stats_.solved;
+    if (entry.warm_attached) warm_slot(entry.fingerprint).busy = false;
+
+    // Only cold successful solves enter the dedup cache: warm results
+    // depend on the slot's history and must never be served to a request
+    // that did not opt into that.
+    if (options_.enable_dedup && !entry.warm && entry.outcome.ok() &&
+        options_.result_cache_capacity > 0) {
+      if (cache_.size() >= options_.result_cache_capacity) {
+        cache_.erase(cache_.begin());
+      }
+      CacheSlot slot;
+      slot.fingerprint = entry.fingerprint;
+      slot.graph = entry.graph;
+      slot.params = entry.params;
+      slot.outcome = entry.outcome;
+      cache_.push_back(std::move(slot));
+    }
+
+    // Followers joined this solve while it was in flight; hand each a copy.
+    const std::size_t leader = *it;
+    for (std::size_t j = next_emit_; j < entries_.size(); ++j) {
+      Entry& follower = entries_[j];
+      if (follower.state == State::kFollower && follower.leader == leader) {
+        follower.outcome = entry.outcome;
+        follower.state = State::kDone;
+      }
+    }
+    it = inflight_.erase(it);
+    progress = true;
+  }
+  return progress;
+}
+
+bool Server::emit() {
+  bool progress = false;
+  while (next_emit_ < entries_.size() &&
+         entries_[next_emit_].state == State::kDone) {
+    Entry& entry = entries_[next_emit_];
+    if (entry.outcome.ok()) {
+      const double seconds =
+          options_.include_timing ? entry.outcome.result.seconds : -1.0;
+      responses_.push_back(render_result_response(
+          entry.id, entry.outcome.result, entry.deduped, seconds));
+    } else {
+      responses_.push_back(render_error_response(entry.id, entry.outcome.error,
+                                                 entry.outcome.message));
+    }
+    // Answered: shed everything graph-sized; the O(1) record remains.
+    entry.graph = graph::Digraph{};
+    entry.outcome = core::SolveOutcome{};
+    ++next_emit_;
+    progress = true;
+  }
+  return progress;
+}
+
+bool Server::step() {
+  const bool harvested = harvest();
+  const bool dispatched = dispatch();
+  const bool emitted = emit();
+  return harvested || dispatched || emitted;
+}
+
+void Server::drain() {
+  for (;;) {
+    step();
+    if (inflight_.empty() && queue_.empty()) break;
+    // Every dispatched colony runs to completion, so waiting on the solver
+    // always unblocks the next harvest.
+    if (!inflight_.empty()) solver_.wait_all();
+  }
+}
+
+std::vector<std::string> Server::take_responses() {
+  std::vector<std::string> out;
+  out.swap(responses_);
+  return out;
+}
+
+std::size_t Server::outstanding() const {
+  return entries_.size() - next_emit_;
+}
+
+void serve_stream(std::istream& in, std::ostream& out, Server& server) {
+  std::mutex mutex;
+  std::condition_variable arrived;
+  std::deque<std::string> lines;
+  bool eof = false;
+
+  // The reader thread only blocks on getline; all serving state stays on
+  // this thread, so the Server itself needs no locking.
+  std::thread reader([&] {
+    std::string line;
+    while (std::getline(in, line)) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        lines.push_back(std::move(line));
+      }
+      arrived.notify_one();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      eof = true;
+    }
+    arrived.notify_one();
+  });
+
+  for (;;) {
+    std::deque<std::string> batch;
+    bool at_eof = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      // 1 ms poll bounds response latency while colonies finish in the
+      // background with no new input to wake us.
+      arrived.wait_for(lock, std::chrono::milliseconds(1),
+                       [&] { return eof || !lines.empty(); });
+      batch.swap(lines);
+      at_eof = eof;
+    }
+    for (const std::string& line : batch) server.push_line(line);
+    server.step();
+    const std::vector<std::string> responses = server.take_responses();
+    if (!responses.empty()) {
+      for (const std::string& response : responses) out << response << '\n';
+      // Flush per batch: a request/response client blocks on the reply
+      // before sending its next frame.
+      out.flush();
+    }
+    if (at_eof && batch.empty() && server.outstanding() == 0) break;
+  }
+  reader.join();
+}
+
+}  // namespace acolay::server

@@ -1,0 +1,219 @@
+// Layering-as-a-service: the session loop behind acolay_serve.
+//
+// A Server consumes newline-delimited JSON request frames (protocol.hpp),
+// runs them on an embedded core::BatchSolver, and produces response
+// frames in ARRIVAL ORDER — ordered emission plus timing-free responses
+// (ServeOptions::include_timing off) make a served transcript a pure
+// function of the input stream, which is what the golden-transcript CI
+// job diffs against.
+//
+// The session adds the serving semantics BatchSolver deliberately lacks:
+//  * admission control — a bounded RequestQueue; frames past the cap are
+//    answered `rejected: overloaded` instead of buffered without bound;
+//  * deadlines — per-request relative deadlines against an injectable
+//    monotonic clock, checked at dispatch: an expired request is shed
+//    (`rejected: deadline_expired`) before its colony ever runs;
+//  * priorities — the queue dispatches by (priority desc, arrival asc)
+//    while at most max_inflight colonies occupy the solver;
+//  * dedup — requests are keyed by the graph's canonical CSR fingerprint;
+//    on fingerprint match plus exact params equality and an
+//    adjacency-ORDER-sensitive graph comparison (order affects results,
+//    so neither the order-invariant fingerprint nor the set-equality
+//    Digraph::operator== is trusted alone) a request shares the in-flight
+//    solve or is answered from the bounded result cache, marked
+//    "deduped": true either way;
+//  * warm pheromone reuse — opt-in per request ("warm": true): repeat
+//    graphs adopt the previous run's final pheromone matrix (one slot per
+//    fingerprint, one in-flight warm run per slot). Warm results depend
+//    on the chain order, so they are excluded from dedup, from the result
+//    cache, and from the bit-identity contract below.
+//
+// Serving contract (pinned by tests/server_session_test.cpp): a cold
+// (non-warm) served result is bit-identical to a direct
+// BatchSolver::solve_all over the same (graph, params) at any thread
+// count — the session never rewrites params, and dedup only ever shares
+// results between requests that are exactly equal, which determinism
+// already makes identical.
+//
+// Threading: the Server itself is single-threaded (one owner calls
+// push_line/step/drain); all parallelism lives inside the embedded
+// BatchSolver. serve_stream() wraps a Server in the blocking
+// stdin/stdout pipe loop the acolay_serve binary runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/pheromone.hpp"
+#include "core/request.hpp"
+#include "server/protocol.hpp"
+#include "server/queue.hpp"
+#include "support/timer.hpp"
+
+namespace acolay::server {
+
+/// Monotonic time source (seconds, arbitrary epoch) for deadline checks —
+/// injectable so tests drive expiry without sleeping.
+using ClockFn = std::function<double()>;
+
+/// Serving policy knobs.
+struct ServeOptions {
+  /// Frame/graph size bounds applied before a request is materialized.
+  RequestLimits limits;
+  /// Pending requests admitted before backpressure (`overloaded`).
+  std::size_t max_queue_depth = 64;
+  /// Colonies in flight at once; 0 = the solver's worker count.
+  std::size_t max_inflight = 0;
+  /// Completed (graph, params, outcome) records kept for dedup; FIFO
+  /// eviction. 0 disables the completed-result side of dedup.
+  std::size_t result_cache_capacity = 64;
+  /// Master switch for dedup (in-flight sharing and the result cache).
+  bool enable_dedup = true;
+  /// Master switch for per-fingerprint warm pheromone slots.
+  bool enable_warm = true;
+  /// Attach wall-clock "seconds" to ok responses. Off by default: golden
+  /// transcripts need byte-stable output.
+  bool include_timing = false;
+  /// Worker threads of the embedded BatchSolver; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Deadline clock; null uses a steady-clock stopwatch started at
+  /// construction.
+  ClockFn clock;
+};
+
+/// Counters exposed for tests, the stats log line, and the bench suite.
+struct ServeStats {
+  std::uint64_t received = 0;   ///< frames pushed
+  std::uint64_t admitted = 0;   ///< entered the queue
+  std::uint64_t solved = 0;     ///< colonies actually run
+  std::uint64_t dedup_shared = 0;    ///< joined an in-flight solve
+  std::uint64_t dedup_cached = 0;    ///< answered from the result cache
+  std::uint64_t warm_reused = 0;     ///< dispatched adopting a warm matrix
+  std::uint64_t rejected_invalid = 0;   ///< bad_request / bad_param / cycle
+  std::uint64_t rejected_overload = 0;  ///< backpressure
+  std::uint64_t rejected_deadline = 0;  ///< shed at dispatch
+};
+
+/// The request/response session (see file comment for the contract).
+class Server {
+ public:
+  /// A server with its embedded BatchSolver spun up per `options`.
+  explicit Server(ServeOptions options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Feeds one request frame (one line, without the newline): parses,
+  /// admits or rejects, and dispatches/harvests opportunistically. Every
+  /// pushed line eventually produces exactly one response, in push order.
+  void push_line(std::string_view line);
+
+  /// Harvests finished colonies, dispatches from the queue while in-flight
+  /// slots are free, and emits ready responses — non-blocking. Returns
+  /// true if any state advanced (the pipe loop's idle test).
+  bool step();
+
+  /// Blocks until every pushed request has its response emitted.
+  void drain();
+
+  /// Moves out the responses that are ready, in arrival order (one line
+  /// each, no trailing newline).
+  std::vector<std::string> take_responses();
+
+  /// Requests pushed but not yet answered.
+  std::size_t outstanding() const;
+
+  /// Counters so far.
+  const ServeStats& stats() const { return stats_; }
+
+  /// Resolved in-flight cap (options().max_inflight or the worker count).
+  std::size_t max_inflight() const { return max_inflight_; }
+
+  /// The policy this server runs.
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// Lifecycle of one pushed frame.
+  enum class State {
+    kQueued,    ///< admitted, waiting in the RequestQueue
+    kInflight,  ///< its colony runs on the BatchSolver
+    kFollower,  ///< deduped onto an in-flight leader's solve
+    kDone,      ///< outcome ready (response may not be emitted yet)
+  };
+
+  struct Entry {
+    std::string id;
+    graph::Digraph graph;
+    core::AcoParams params;
+    double deadline_abs = std::numeric_limits<double>::infinity();
+    int priority = 0;
+    bool warm = false;
+    bool warm_attached = false;  ///< this entry holds its slot's busy flag
+    std::uint64_t fingerprint = 0;
+    State state = State::kDone;
+    core::SolveOutcome outcome;
+    bool deduped = false;
+    core::BatchJobId job = 0;
+    std::size_t leader = 0;  ///< leader entry index when kFollower
+  };
+
+  /// One completed cold solve retained for dedup (FIFO-evicted).
+  struct CacheSlot {
+    std::uint64_t fingerprint = 0;
+    graph::Digraph graph;
+    core::AcoParams params;
+    core::SolveOutcome outcome;
+  };
+
+  /// Per-fingerprint warm pheromone slot; busy while one warm colony for
+  /// this fingerprint is in flight (its worker writes `tau` back).
+  struct WarmSlot {
+    std::uint64_t fingerprint = 0;
+    core::PheromoneMatrix tau;
+    bool busy = false;
+  };
+
+  void reject(Entry& entry, core::AdmissionError error, std::string message);
+  bool harvest();
+  bool dispatch();
+  bool emit();
+  /// Exact-match dedup probe (cache first, then in-flight leaders);
+  /// resolves the entry when it hits. False → caller dispatches for real.
+  bool try_dedup(std::size_t index);
+  WarmSlot& warm_slot(std::uint64_t fingerprint);
+
+  ServeOptions options_;
+  ClockFn clock_;
+  support::Stopwatch stopwatch_;  ///< backs the default clock
+  std::deque<Entry> entries_;
+  RequestQueue queue_;
+  std::vector<std::size_t> inflight_;  ///< entry indices, dispatch order
+  std::vector<CacheSlot> cache_;  ///< FIFO ring of completed solves
+  /// Linear-scanned, small. A deque, NOT a vector: an in-flight warm job
+  /// holds a pointer to its slot's matrix, which must survive new
+  /// fingerprints appending slots.
+  std::deque<WarmSlot> warm_;
+  std::size_t next_emit_ = 0;          ///< first entry without a response
+  std::vector<std::string> responses_;
+  std::size_t max_inflight_ = 1;
+  ServeStats stats_;
+  core::BatchSolver solver_;  ///< declared last: drained before the
+                              ///< entries its jobs reference go away
+};
+
+/// The acolay_serve pipe loop: a reader thread feeds `in`'s lines into
+/// `server` while the calling thread steps it and writes each response
+/// batch to `out` (flushed per batch, so a request/response client never
+/// deadlocks on an unflushed reply). Returns after end-of-input once every
+/// request is answered.
+void serve_stream(std::istream& in, std::ostream& out, Server& server);
+
+}  // namespace acolay::server

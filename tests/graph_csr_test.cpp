@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -134,6 +136,78 @@ TEST(CsrView, IsASnapshotNotALiveView) {
   g.add_edge(1, 0);
   EXPECT_EQ(csr.num_edges(), 1u);
   EXPECT_EQ(g.num_edges(), 2u);
+}
+
+// ---- fingerprint() — the serving layer's dedup bucket key ---------------
+
+TEST(CsrFingerprint, InvariantUnderAdjacencyOrderPermutation) {
+  // Same vertex set, widths, and edge set — inserted in a different order,
+  // so the adjacency lists (and hence solve results) may differ, but the
+  // canonical fingerprint must not.
+  Digraph a(4);
+  a.add_edge(3, 1);
+  a.add_edge(3, 2);
+  a.add_edge(1, 0);
+  a.add_edge(2, 0);
+  Digraph b(4);
+  b.add_edge(2, 0);
+  b.add_edge(3, 2);
+  b.add_edge(1, 0);
+  b.add_edge(3, 1);
+  EXPECT_EQ(CsrView(a).fingerprint(), CsrView(b).fingerprint());
+}
+
+TEST(CsrFingerprint, SensitiveToTopologySizeAndWidths) {
+  const std::uint64_t base = CsrView(test::diamond()).fingerprint();
+
+  Digraph extra_vertex = test::diamond();
+  extra_vertex.add_vertex();
+  EXPECT_NE(CsrView(extra_vertex).fingerprint(), base);
+
+  Digraph extra_edge = test::diamond();
+  extra_edge.add_edge(3, 0);
+  EXPECT_NE(CsrView(extra_edge).fingerprint(), base);
+
+  Digraph rewired(4);  // diamond with one edge replaced
+  rewired.add_edge(3, 1);
+  rewired.add_edge(3, 2);
+  rewired.add_edge(1, 0);
+  rewired.add_edge(2, 1);
+  EXPECT_NE(CsrView(rewired).fingerprint(), base);
+
+  Digraph widened = test::diamond();
+  widened.set_width(1, 2.0);
+  EXPECT_NE(CsrView(widened).fingerprint(), base);
+
+  // NOT relabeling-invariant (documented contract): the same shape under a
+  // different vertex numbering is a different fingerprint.
+  Digraph relabeled(4);  // diamond with 0 <-> 3 swapped
+  relabeled.add_edge(0, 1);
+  relabeled.add_edge(0, 2);
+  relabeled.add_edge(1, 3);
+  relabeled.add_edge(2, 3);
+  EXPECT_NE(CsrView(relabeled).fingerprint(), base);
+}
+
+TEST(CsrFingerprint, NoCollisionsAcrossRandomBattery) {
+  std::vector<std::uint64_t> seen;
+  for (const auto& g : test::random_battery(24, 0xf1f1)) {
+    seen.push_back(CsrView(g).fingerprint());
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(CsrFingerprint, PinnedValues) {
+  // Pinned so an accidental change to the folding scheme (or to
+  // splitmix64) fails loudly: persisted dedup keys and the wire contract
+  // depend on these exact values. A deliberate change must bump the
+  // version tag in CsrView::fingerprint and re-pin.
+  EXPECT_EQ(CsrView(Digraph(0)).fingerprint(), 0xe3485d94803ff0bcULL);
+  EXPECT_EQ(CsrView(Digraph(1)).fingerprint(), 0x3cf6c77cd3a99d1dULL);
+  EXPECT_EQ(CsrView(test::diamond()).fingerprint(), 0x1ac0f517b66d4430ULL);
+  EXPECT_EQ(CsrView(test::triangle_with_long_edge()).fingerprint(),
+            0x64585b9725e7d4c4ULL);
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// The strict JSON reader feeding acolay_serve's wire protocol. The
+// contract under test: well-formed RFC 8259 documents parse exactly;
+// EVERYTHING else — truncations, mutations, random garbage, bad UTF-8,
+// hostile nesting — returns a structured error without throwing,
+// crashing, or hanging. The fuzz sections are seeded (deterministic
+// reruns) per the house rules.
+#include "io/json_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "io/json.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace acolay::io {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonParseError error;
+  auto value = parse_json(text, &error);
+  EXPECT_TRUE(value.has_value()) << text << " -> " << error.message;
+  return value ? *value : JsonValue{};
+}
+
+void expect_rejected(const std::string& text) {
+  JsonParseError error{.offset = 0, .message = "unset"};
+  const auto value = parse_json(text, &error);
+  EXPECT_FALSE(value.has_value()) << "accepted: " << text;
+  EXPECT_LE(error.offset, text.size());
+  EXPECT_NE(error.message, "unset");
+}
+
+TEST(JsonReader, ParsesScalarsExactly) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_EQ(parse_ok("true").as_bool(), true);
+  EXPECT_EQ(parse_ok("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_ok("-12.5e2").as_double(), -1250.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(parse_ok("  [ ]  ").is_array());
+  EXPECT_TRUE(parse_ok("{}").is_object());
+}
+
+TEST(JsonReader, NumbersKeepExact64BitIntegers) {
+  // Seeds and ids must survive without a double round-trip.
+  EXPECT_EQ(parse_ok("9223372036854775807").as_int64(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_ok("-9223372036854775808").as_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_ok("18446744073709551615").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_ok("18446744073709551616").try_uint64());  // overflow
+  EXPECT_FALSE(parse_ok("1.5").try_int64());   // fraction
+  EXPECT_FALSE(parse_ok("1e3").try_int64());   // exponent form
+  EXPECT_FALSE(parse_ok("-1").try_uint64());   // negative
+  EXPECT_TRUE(parse_ok("42").try_uint64());
+  // Out-of-range magnitude saturates to infinity but stays a number.
+  EXPECT_TRUE(std::isinf(parse_ok("1e999").as_double()));
+  EXPECT_LT(parse_ok("-1e999").as_double(), 0.0);
+}
+
+TEST(JsonReader, RejectsNumberGrammarViolations) {
+  for (const char* bad : {"01", "-", "+1", ".5", "1.", "1e", "1e+", "--1",
+                          "0x10", "NaN", "Infinity", "1,5"}) {
+    expect_rejected(bad);
+  }
+}
+
+TEST(JsonReader, StringEscapesAndUnicode) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parse_ok(R"("Aé")").as_string(), "Aé");
+  // Surrogate pair -> one 4-byte UTF-8 code point (U+1F600).
+  EXPECT_EQ(parse_ok(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+  // Raw UTF-8 passes through verbatim.
+  EXPECT_EQ(parse_ok("\"gr\xC3\xBC\xC3\x9F\"").as_string(), "grüß");
+}
+
+TEST(JsonReader, RejectsMalformedStringsAndUtf8) {
+  expect_rejected("\"unterminated");
+  expect_rejected("\"bad \x01 control\"");
+  expect_rejected(R"("\q")");            // unknown escape
+  expect_rejected(R"("\u12")");          // truncated \u
+  expect_rejected(R"("\ud800")");        // lone high surrogate
+  expect_rejected(R"("\udc00")");        // lone low surrogate
+  expect_rejected(R"("\ud800A")");  // high surrogate + non-low
+  expect_rejected("\"\x80\"");           // bare continuation byte
+  expect_rejected("\"\xC0\xAF\"");       // overlong encoding
+  expect_rejected("\"\xED\xA0\x80\"");   // UTF-8-encoded surrogate
+  expect_rejected("\"\xF5\x80\x80\x80\"");  // beyond U+10FFFF
+  expect_rejected("\"\xE2\x82\"");       // truncated multi-byte sequence
+}
+
+TEST(JsonReader, RejectsStructuralViolations) {
+  for (const char* bad :
+       {"", "   ", "{", "}", "[", "]", "[1,]", "{\"a\":}", "{\"a\"}",
+        "{\"a\":1,}", "{a:1}", "[1 2]", "{\"a\":1 \"b\":2}", "tru",
+        "nulll", "[] []", "{} extra", "[1] 2"}) {
+    expect_rejected(bad);
+  }
+}
+
+TEST(JsonReader, ObjectsKeepDocumentOrderAndFirstKeyWins) {
+  const JsonValue doc =
+      parse_ok(R"({"b": 1, "a": 2, "b": 3, "nested": {"x": [1, 2]}})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.size(), 4u);
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.find("b")->as_int64(), 1);  // first occurrence
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  const JsonValue* nested = doc.find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->find("x")->elements()[1].as_int64(), 2);
+  // find() on non-objects chains to nullptr instead of throwing.
+  EXPECT_EQ(nested->find("x")->find("y"), nullptr);
+}
+
+TEST(JsonReader, DepthLimitStopsHostileNestingWithoutOverflow) {
+  const std::string deep(100000, '[');
+  JsonParseError error;
+  JsonLimits limits;
+  EXPECT_FALSE(parse_json(deep, &error, limits).has_value());
+  EXPECT_NE(error.message.find("max_depth"), std::string::npos);
+
+  // Exactly at the limit parses; one deeper does not.
+  limits.max_depth = 8;
+  std::string nested = "1";
+  for (int i = 0; i < 8; ++i) {
+    nested.insert(nested.begin(), '[');
+    nested.push_back(']');
+  }
+  EXPECT_TRUE(parse_json(nested, nullptr, limits).has_value());
+  nested.insert(nested.begin(), '[');
+  nested.push_back(']');
+  EXPECT_FALSE(parse_json(nested, nullptr, limits).has_value());
+}
+
+TEST(JsonReader, ByteLimitRejectsOversizedDocuments) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  JsonParseError error;
+  EXPECT_FALSE(
+      parse_json(std::string(17, ' ') + "1", &error, limits).has_value());
+  EXPECT_NE(error.message.find("max_bytes"), std::string::npos);
+  EXPECT_TRUE(parse_json("[1, 2, 3]", nullptr, limits).has_value());
+}
+
+TEST(JsonReader, RoundTripsJsonWriterGraphDocuments) {
+  for (const auto& g : test::random_battery(8, 0x10de)) {
+    const JsonValue doc = parse_ok(to_json(g));
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.find("num_vertices")->as_uint64(), g.num_vertices());
+    EXPECT_EQ(doc.find("edges")->size(), g.num_edges());
+  }
+}
+
+TEST(JsonReaderFuzz, EveryPrefixOfAValidDocumentIsHandled) {
+  const std::string doc = to_json(test::small_dag());
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    // No prefix of a top-level object document is complete, so each must
+    // be rejected — the point is that none of them crash or hang.
+    expect_rejected(doc.substr(0, len));
+  }
+}
+
+TEST(JsonReaderFuzz, RandomMutationsNeverCrash) {
+  const std::string doc = to_json(test::diamond());
+  support::Rng rng(0xfadedULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = doc;
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.index(mutated.size());
+      mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    JsonParseError error;
+    const auto value = parse_json(mutated, &error);
+    if (!value) {
+      EXPECT_LE(error.offset, mutated.size());
+    }
+  }
+}
+
+TEST(JsonReaderFuzz, RandomGarbageNeverCrashes) {
+  support::Rng rng(0xc0ffeeULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage(rng.index(64), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    JsonParseError error;
+    const auto value = parse_json(garbage, &error);
+    if (!value) {
+      EXPECT_LE(error.offset, garbage.size());
+    }
+  }
+}
+
+TEST(JsonReaderFuzz, RandomStructuredDocumentsRoundTrip) {
+  // Writer-generated random documents must always parse: generate via
+  // JsonWriter (which validates structure), then re-parse.
+  support::Rng rng(0x5eedULL);
+  for (int round = 0; round < 200; ++round) {
+    JsonWriter w;
+    w.begin_object();
+    const int keys = static_cast<int>(rng.uniform_int(0, 6));
+    for (int k = 0; k < keys; ++k) {
+      std::string key = "k";  // built in two steps: "k" + to_string trips
+      key += std::to_string(k);  // a GCC 12 -Wrestrict false positive
+
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          w.kv(key, rng.uniform(-1e6, 1e6));
+          break;
+        case 1:
+          w.kv(key, static_cast<std::int64_t>(
+                        rng.uniform_int(-1000000, 1000000)));
+          break;
+        case 2:
+          w.kv(key, rng.bernoulli(0.5));
+          break;
+        default: {
+          std::string text(rng.index(12), 'x');
+          for (char& c : text) {
+            c = static_cast<char>(rng.uniform_int(1, 127));
+          }
+          w.kv(key, text);
+          break;
+        }
+      }
+    }
+    w.end_object();
+    const JsonValue doc = parse_ok(w.str());
+    EXPECT_EQ(doc.size(), static_cast<std::size_t>(keys));
+  }
+}
+
+}  // namespace
+}  // namespace acolay::io

@@ -1,0 +1,205 @@
+// Wire-protocol framing: strict request parsing (every malformed frame a
+// structured rejection, never an exception) and byte-stable response
+// rendering — the golden-transcript CI job depends on both.
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/request.hpp"
+#include "io/json_reader.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace acolay::server {
+namespace {
+
+using core::AdmissionError;
+
+constexpr const char* kDiamondFrame =
+    R"({"id": "d1", "graph": {"num_vertices": 4,)"
+    R"( "edges": [[3, 1], [3, 2], [1, 0], [2, 0]]}})";
+
+AdmissionError parse(const std::string& line, ParsedRequest& out,
+                     std::string& message) {
+  return parse_request_line(line, RequestLimits{}, out, message);
+}
+
+TEST(ServerProtocol, ParsesAFullRequestFrame) {
+  ParsedRequest request;
+  std::string message;
+  const std::string line =
+      R"({"id": "r-7", "graph": {"num_vertices": 3,)"
+      R"( "edges": [[2, 1], [1, 0]], "widths": [1.0, 2.5, 1.0]},)"
+      R"( "params": {"num_ants": 4, "num_tours": 6, "seed": 42,)"
+      R"( "beta": 2.0, "stagnation": "stop", "order": "bfs"},)"
+      R"( "deadline_seconds": 0.5, "priority": 3, "warm": true})";
+  ASSERT_EQ(parse(line, request, message), AdmissionError::kNone) << message;
+  EXPECT_EQ(request.id, "r-7");
+  EXPECT_EQ(request.graph.num_vertices(), 3u);
+  EXPECT_EQ(request.graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(request.graph.width(1), 2.5);
+  EXPECT_EQ(request.params.num_ants, 4);
+  EXPECT_EQ(request.params.num_tours, 6);
+  EXPECT_EQ(request.params.seed, 42u);
+  EXPECT_DOUBLE_EQ(request.params.beta, 2.0);
+  EXPECT_EQ(request.params.stagnation, core::StagnationPolicy::kStop);
+  EXPECT_EQ(request.params.order, core::VertexOrder::kBfs);
+  EXPECT_FALSE(request.params.record_trace);  // server-forced
+  EXPECT_DOUBLE_EQ(request.deadline_seconds, 0.5);
+  EXPECT_EQ(request.priority, 3);
+  EXPECT_TRUE(request.warm);
+}
+
+TEST(ServerProtocol, MinimalFrameUsesDefaults) {
+  ParsedRequest request;
+  std::string message;
+  ASSERT_EQ(parse(kDiamondFrame, request, message), AdmissionError::kNone);
+  EXPECT_EQ(request.params.num_ants, core::AcoParams{}.num_ants);
+  EXPECT_DOUBLE_EQ(request.deadline_seconds, 0.0);
+  EXPECT_EQ(request.priority, 0);
+  EXPECT_FALSE(request.warm);
+}
+
+TEST(ServerProtocol, RejectsFrameShapeViolationsAsBadRequest) {
+  ParsedRequest request;
+  std::string message;
+  const char* bad_frames[] = {
+      "not json",
+      "[1,2,3]",                                     // not an object
+      R"({"graph": {"num_vertices": 1}})",           // missing id
+      R"({"id": 7, "graph": {"num_vertices": 1}})",  // non-string id
+      R"({"id": "x"})",                              // missing graph
+      R"({"id": "x", "graph": 5})",
+      R"({"id": "x", "graph": {"num_vertices": 1}, "bogus": 1})",
+      R"({"id": "x", "graph": {"num_vertices": 1, "weird": []}})",
+      R"({"id": "x", "graph": {"num_vertices": -2}})",
+      R"({"id": "x", "graph": {"num_vertices": 2, "edges": [[0]]}})",
+      R"({"id": "x", "graph": {"num_vertices": 2, "edges": [[0, 5]]}})",
+      R"({"id": "x", "graph": {"num_vertices": 2,)"
+      R"( "edges": [[0, 1], [0, 1]]}})",  // duplicate edge
+      R"({"id": "x", "graph": {"num_vertices": 2, "widths": [1.0]}})",
+      R"({"id": "x", "graph": {"num_vertices": 1, "widths": [-1.0]}})",
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "deadline_seconds": "soon"})",
+      R"({"id": "x", "graph": {"num_vertices": 1}, "priority": 1.5})",
+      R"({"id": "x", "graph": {"num_vertices": 1}, "warm": 1})",
+  };
+  for (const char* line : bad_frames) {
+    EXPECT_EQ(parse(line, request, message), AdmissionError::kBadRequest)
+        << line;
+    EXPECT_FALSE(message.empty());
+  }
+}
+
+TEST(ServerProtocol, RejectsParamsProblemsAsBadParam) {
+  ParsedRequest request;
+  std::string message;
+  const char* bad_frames[] = {
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "params": {"bogus_knob": 1}})",
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "params": {"num_ants": 1.5}})",
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "params": {"seed": -1}})",
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "params": {"selection": "psychic"}})",
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "params": {"num_threads": 4}})",  // server-controlled
+      R"({"id": "x", "graph": {"num_vertices": 1},)"
+      R"( "params": {"record_trace": true}})",  // server-controlled
+  };
+  for (const char* line : bad_frames) {
+    EXPECT_EQ(parse(line, request, message), AdmissionError::kBadParam)
+        << line;
+  }
+}
+
+TEST(ServerProtocol, SelfLoopIsReportedAsCycle) {
+  ParsedRequest request;
+  std::string message;
+  EXPECT_EQ(
+      parse(R"({"id": "x", "graph": {"num_vertices": 2,)"
+            R"( "edges": [[1, 1]]}})",
+            request, message),
+      AdmissionError::kCycle);
+}
+
+TEST(ServerProtocol, BestEffortIdSurvivesRejection) {
+  ParsedRequest request;
+  std::string message;
+  EXPECT_EQ(parse(R"({"id": "keep-me", "graph": 42})", request, message),
+            AdmissionError::kBadRequest);
+  EXPECT_EQ(request.id, "keep-me");
+}
+
+TEST(ServerProtocol, EnforcesRequestLimits) {
+  RequestLimits limits;
+  limits.max_vertices = 8;
+  ParsedRequest request;
+  std::string message;
+  EXPECT_EQ(parse_request_line(
+                R"({"id": "x", "graph": {"num_vertices": 9}})", limits,
+                request, message),
+            AdmissionError::kBadRequest);
+  EXPECT_NE(message.find("limit"), std::string::npos);
+
+  limits = RequestLimits{};
+  limits.max_line_bytes = 32;
+  EXPECT_EQ(parse_request_line(std::string(33, ' '), limits, request,
+                               message),
+            AdmissionError::kBadRequest);
+}
+
+TEST(ServerProtocol, ResponsesAreValidJsonWithTheSchemaTag) {
+  core::AcoResult result;
+  result.layering = layering::Layering(2);
+  const std::string ok =
+      render_result_response("r1", result, /*deduped=*/true, /*seconds=*/-1);
+  const auto ok_doc = io::parse_json(ok);
+  ASSERT_TRUE(ok_doc.has_value());
+  EXPECT_EQ(ok_doc->find("schema")->as_string(), kServeSchema);
+  EXPECT_EQ(ok_doc->find("status")->as_string(), "ok");
+  EXPECT_TRUE(ok_doc->find("deduped")->as_bool());
+  EXPECT_EQ(ok_doc->find("seconds"), nullptr);  // timing off
+
+  const std::string timed =
+      render_result_response("r1", result, false, 0.125);
+  const auto timed_doc = io::parse_json(timed);
+  ASSERT_TRUE(timed_doc.has_value());
+  EXPECT_DOUBLE_EQ(timed_doc->find("seconds")->as_double(), 0.125);
+
+  const std::string rejected = render_error_response(
+      "r2", AdmissionError::kOverloaded, "queue \"full\"");
+  const auto rej_doc = io::parse_json(rejected);
+  ASSERT_TRUE(rej_doc.has_value());
+  EXPECT_EQ(rej_doc->find("status")->as_string(), "rejected");
+  EXPECT_EQ(rej_doc->find("error")->as_string(), "overloaded");
+  EXPECT_EQ(rej_doc->find("message")->as_string(), "queue \"full\"");
+}
+
+TEST(ServerProtocolFuzz, MutatedFramesNeverThrow) {
+  support::Rng rng(0xd1ceULL);
+  const std::string base = kDiamondFrame;
+  ParsedRequest request;
+  std::string message;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const int flips = static_cast<int>(rng.uniform_int(1, 3));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.index(mutated.size())] =
+          static_cast<char>(rng.uniform_int(0, 255));
+    }
+    // Must classify every mutation without throwing; ok or any structured
+    // rejection are both acceptable.
+    (void)parse(mutated, request, message);
+  }
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    EXPECT_NE(parse(base.substr(0, len), request, message),
+              AdmissionError::kNone);
+  }
+}
+
+}  // namespace
+}  // namespace acolay::server

@@ -1,0 +1,368 @@
+// The serving contract (src/server/session.hpp): deadline-expired
+// requests are shed before their colony runs, priorities are honored
+// under a full queue, overload turns into structured backpressure, dedup
+// collapses only *exactly* equal requests, and — the headline — a served
+// stream is bit-identical to direct BatchSolver::solve_all over the same
+// (graph, params), at any thread count.
+#include "server/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/params.hpp"
+#include "graph/digraph.hpp"
+#include "io/json.hpp"
+#include "io/json_reader.hpp"
+#include "test_util.hpp"
+
+namespace acolay::server {
+namespace {
+
+using core::AdmissionError;
+
+ServeOptions with_threads(int threads) {
+  ServeOptions options;
+  options.num_threads = threads;
+  return options;
+}
+
+struct FrameOpts {
+  double deadline = 0.0;
+  int priority = 0;
+  bool warm = false;
+};
+
+/// Renders a wire request frame for `g`. Edge order on the wire is
+/// Digraph::edges() (source-major) order, so the graph the server
+/// reconstructs has source-major adjacency — wire_normalized() below
+/// builds the Digraph the direct solver must be handed for bit-identity
+/// comparisons.
+std::string frame(const std::string& id, const graph::Digraph& g,
+                  int num_tours, std::uint64_t seed, FrameOpts opts = {}) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.key("graph").begin_object();
+  w.kv("num_vertices", g.num_vertices());
+  w.key("edges").begin_array();
+  for (const auto& e : g.edges()) {
+    w.begin_array().value(e.source).value(e.target).end_array();
+  }
+  w.end_array();
+  w.key("widths").begin_array();
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    w.value(g.width(v));
+  }
+  w.end_array();
+  w.end_object();
+  w.key("params").begin_object();
+  w.kv("num_tours", num_tours);
+  w.kv("seed", seed);
+  w.end_object();
+  if (opts.deadline > 0.0) w.kv("deadline_seconds", opts.deadline);
+  if (opts.priority != 0) w.kv("priority", opts.priority);
+  if (opts.warm) w.kv("warm", true);
+  w.end_object();
+  return w.str();
+}
+
+/// The graph as the server will reconstruct it from the frame above:
+/// edges re-added in source-major order (predecessor lists included).
+graph::Digraph wire_normalized(const graph::Digraph& g) {
+  graph::Digraph out(g.num_vertices());
+  for (const auto& e : g.edges()) out.add_edge(e.source, e.target);
+  for (graph::VertexId v = 0;
+       static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    out.set_width(v, g.width(v));
+  }
+  return out;
+}
+
+io::JsonValue parse_response(const std::string& line) {
+  const auto doc = io::parse_json(line);
+  EXPECT_TRUE(doc.has_value()) << line;
+  EXPECT_EQ(doc->find("schema")->as_string(), kServeSchema);
+  return doc ? *doc : io::JsonValue{};
+}
+
+std::string status_of(const std::string& line) {
+  return parse_response(line).find("status")->as_string();
+}
+
+TEST(ServerSession, AnswersAValidRequestWithItsLayering) {
+  Server server(with_threads(1));
+  server.push_line(frame("q1", test::small_dag(), 4, 7));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  EXPECT_EQ(doc.find("id")->as_string(), "q1");
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_FALSE(doc.find("deduped")->as_bool());
+  EXPECT_EQ(doc.find("seconds"), nullptr);  // timing off by default
+  EXPECT_EQ(doc.find("layering")->find("layers")->size(), 7u);
+  EXPECT_GE(doc.find("layering")->find("height")->as_int64(), 4);
+  EXPECT_NE(doc.find("metrics"), nullptr);
+  EXPECT_EQ(server.outstanding(), 0u);
+}
+
+TEST(ServerSession, MalformedAndInvalidFramesGetStructuredRejections) {
+  Server server(with_threads(1));
+  server.push_line("this is not a frame");
+  server.push_line(
+      R"({"id": "loop", "graph": {"num_vertices": 2,)"
+      R"( "edges": [[0, 1], [1, 0]]}})");
+  server.push_line(frame("ok", test::diamond(), 2, 1));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(status_of(responses[0]), "rejected");
+  const io::JsonValue cycle = parse_response(responses[1]);
+  EXPECT_EQ(cycle.find("id")->as_string(), "loop");  // best-effort echo
+  EXPECT_EQ(cycle.find("error")->as_string(), "cycle");
+  EXPECT_EQ(status_of(responses[2]), "ok");
+  EXPECT_EQ(server.stats().rejected_invalid, 2u);
+  EXPECT_EQ(server.stats().solved, 1u);
+}
+
+TEST(ServerSession, ExpiredDeadlineIsShedWithoutRunningAColony) {
+  // A clock that advances one second per *call* makes expiry deterministic
+  // with no sleeping: the deadline is stamped on one call and is already
+  // in the past by the dispatch-time check.
+  int ticks = 0;
+  ServeOptions options = with_threads(1);
+  options.clock = [&ticks] { return static_cast<double>(ticks++); };
+  Server server(options);
+  server.push_line(frame("late", test::diamond(), 2, 1,
+                         FrameOpts{.deadline = 0.5}));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  EXPECT_EQ(doc.find("status")->as_string(), "rejected");
+  EXPECT_EQ(doc.find("error")->as_string(), "deadline_expired");
+  EXPECT_EQ(server.stats().rejected_deadline, 1u);
+  EXPECT_EQ(server.stats().solved, 0u);  // never reached the solver
+}
+
+TEST(ServerSession, PrioritiesGovernDispatchAndOverflowIsBackpressure) {
+  // One in-flight slot, a two-deep queue, and a blocker holding the slot.
+  // The low-priority request's deadline expires as soon as two colonies
+  // have been solved (the clock reads the solved counter), so:
+  //   * correct (priority) order: blocker, then HIGH — by the time LOW is
+  //     popped its deadline has passed and it is shed;
+  //   * inverted order would pop LOW while its deadline still holds, solve
+  //     it, and the shed assertion below fails.
+  // A fourth frame arrives with the queue full and must bounce.
+  const Server* self = nullptr;
+  ServeOptions options;
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  options.max_queue_depth = 2;
+  options.clock = [&self] {
+    return (self != nullptr && self->stats().solved >= 2) ? 1000.0 : 0.0;
+  };
+  Server server(options);
+  self = &server;
+
+  // Heavy enough that it is still running while the three frames below
+  // are pushed (pushes take microseconds).
+  const auto blocker_graph = test::random_battery(1, 0xb10cULL).front();
+  server.push_line(frame("blocker", blocker_graph, 400, 1));
+  server.push_line(frame("low", test::diamond(), 2, 2,
+                         FrameOpts{.deadline = 50.0, .priority = 0}));
+  server.push_line(frame("high", test::two_chains(), 2, 3,
+                         FrameOpts{.priority = 7}));
+  server.push_line(frame("bounced", test::small_dag(), 2, 4));
+  server.drain();
+
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 4u);  // arrival order, always
+  EXPECT_EQ(status_of(responses[0]), "ok");
+  const io::JsonValue low = parse_response(responses[1]);
+  EXPECT_EQ(low.find("error")->as_string(), "deadline_expired");
+  EXPECT_EQ(status_of(responses[2]), "ok");
+  const io::JsonValue bounced = parse_response(responses[3]);
+  EXPECT_EQ(bounced.find("error")->as_string(), "overloaded");
+
+  EXPECT_EQ(server.stats().solved, 2u);
+  EXPECT_EQ(server.stats().rejected_deadline, 1u);
+  EXPECT_EQ(server.stats().rejected_overload, 1u);
+}
+
+TEST(ServerSession, DedupCollapsesOnlyExactlyEqualRequests) {
+  Server server(with_threads(1));
+  const auto g = test::small_dag();
+  server.push_line(frame("a", g, 3, 11));
+  server.push_line(frame("b", g, 3, 11));  // identical (id is not params)
+  server.push_line(frame("c", g, 3, 11));
+  server.push_line(frame("d", g, 3, 12));  // same graph, different seed
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 4u);
+
+  const io::JsonValue a = parse_response(responses[0]);
+  const io::JsonValue b = parse_response(responses[1]);
+  const io::JsonValue c = parse_response(responses[2]);
+  EXPECT_FALSE(a.find("deduped")->as_bool());
+  EXPECT_TRUE(b.find("deduped")->as_bool());
+  EXPECT_TRUE(c.find("deduped")->as_bool());
+  EXPECT_FALSE(parse_response(responses[3]).find("deduped")->as_bool());
+
+  // A shared result is the leader's result: identical layers.
+  const auto& a_layers = a.find("layering")->find("layers")->elements();
+  const auto& b_layers = b.find("layering")->find("layers")->elements();
+  ASSERT_EQ(a_layers.size(), b_layers.size());
+  for (std::size_t i = 0; i < a_layers.size(); ++i) {
+    EXPECT_EQ(a_layers[i].as_int64(), b_layers[i].as_int64());
+  }
+
+  EXPECT_EQ(server.stats().solved, 2u);  // the 3 clones cost one colony
+  EXPECT_EQ(server.stats().dedup_shared + server.stats().dedup_cached, 2u);
+}
+
+TEST(ServerSession, DedupRefusesSetEqualGraphsWithPermutedAdjacency) {
+  // Same vertex set, same edge *set*, different adjacency order: the
+  // fingerprints collide (order-invariant by design) but the solves may
+  // differ, so the order-sensitive guard must keep them apart.
+  graph::Digraph a(4);
+  a.add_edge(3, 1);
+  a.add_edge(3, 2);
+  a.add_edge(1, 0);
+  a.add_edge(2, 0);
+  graph::Digraph b(4);
+  b.add_edge(2, 0);
+  b.add_edge(3, 2);
+  b.add_edge(1, 0);
+  b.add_edge(3, 1);
+
+  Server server(with_threads(1));
+  server.push_line(frame("a", a, 3, 5));
+  server.push_line(frame("b", b, 3, 5));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(parse_response(responses[0]).find("deduped")->as_bool());
+  EXPECT_FALSE(parse_response(responses[1]).find("deduped")->as_bool());
+  EXPECT_EQ(server.stats().solved, 2u);
+  EXPECT_EQ(server.stats().dedup_shared + server.stats().dedup_cached, 0u);
+}
+
+TEST(ServerSession, WarmRequestsReuseTheSlotAndSkipDedup) {
+  Server server(with_threads(1));
+  const auto g = test::small_dag();
+  server.push_line(frame("w1", g, 3, 21, FrameOpts{.warm = true}));
+  server.drain();
+  server.push_line(frame("w2", g, 3, 21, FrameOpts{.warm = true}));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(status_of(responses[0]), "ok");
+  EXPECT_EQ(status_of(responses[1]), "ok");
+  EXPECT_EQ(server.stats().solved, 2u);  // identical frames, NOT deduped
+  EXPECT_EQ(server.stats().dedup_shared + server.stats().dedup_cached, 0u);
+  EXPECT_EQ(server.stats().warm_reused, 1u);  // w2 adopted w1's matrix
+}
+
+TEST(ServerSession, ServedStreamIsBitIdenticalToDirectBatchSolve) {
+  // The headline contract, at thread counts {1, 4, hardware}: every served
+  // layering (and objective) equals a direct BatchSolver::solve_all over
+  // the same graphs and params, and the transcript bytes are identical
+  // across thread counts.
+  const auto raw_battery = test::random_battery(8, 0x5e21);
+  std::vector<graph::Digraph> graphs;
+  std::vector<core::AcoParams> params;
+  std::vector<std::string> frames;
+  for (std::size_t i = 0; i < raw_battery.size(); ++i) {
+    graphs.push_back(wire_normalized(raw_battery[i]));
+    core::AcoParams p;
+    p.num_tours = 3;
+    p.seed = 100 + i;
+    p.record_trace = false;  // the server forces this off
+    params.push_back(p);
+    std::string id = "g";  // two steps: "g" + to_string trips a GCC 12
+    id += std::to_string(i);  // -Wrestrict false positive
+    frames.push_back(frame(id, graphs.back(), 3, 100 + i));
+  }
+
+  core::BatchSolver direct(core::BatchOptions{.num_threads = 2});
+  const auto expected = direct.solve_all(graphs, params);
+
+  std::vector<std::vector<std::string>> transcripts;
+  for (const int threads : {1, 4, 0}) {
+    Server server(with_threads(threads));
+    for (const std::string& f : frames) server.push_line(f);
+    server.drain();
+    transcripts.push_back(server.take_responses());
+    ASSERT_EQ(transcripts.back().size(), frames.size());
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+  EXPECT_EQ(transcripts[0], transcripts[2]);
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const io::JsonValue doc = parse_response(transcripts[0][i]);
+    ASSERT_EQ(doc.find("status")->as_string(), "ok") << transcripts[0][i];
+    const auto& layers = doc.find("layering")->find("layers")->elements();
+    const auto& want = expected[i].layering.raw();
+    ASSERT_EQ(layers.size(), want.size());
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      EXPECT_EQ(layers[v].as_int64(), want[v]) << "graph " << i;
+    }
+    EXPECT_EQ(doc.find("metrics")->find("objective")->as_double(),
+              expected[i].metrics.objective);
+    EXPECT_EQ(doc.find("initial_objective")->as_double(),
+              expected[i].initial_objective);
+  }
+}
+
+TEST(ServerSession, ServeStreamMatchesDirectPushLines) {
+  // The pipe loop is plumbing only: the bytes out of serve_stream must be
+  // exactly the push_line-driven responses, newline-terminated.
+  std::vector<std::string> lines;
+  lines.push_back(frame("s1", test::diamond(), 2, 1));
+  lines.push_back("garbage");
+  lines.push_back(frame("s2", test::small_dag(), 2, 2));
+  lines.push_back(frame("s3", test::diamond(), 2, 1));  // dedups onto s1
+
+  Server reference(with_threads(2));
+  for (const std::string& line : lines) reference.push_line(line);
+  reference.drain();
+  std::string want;
+  for (const std::string& r : reference.take_responses()) {
+    want += r;
+    want += '\n';
+  }
+
+  std::string input;
+  for (const std::string& line : lines) {
+    input += line;
+    input += '\n';
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  Server server(with_threads(2));
+  serve_stream(in, out, server);
+  EXPECT_EQ(out.str(), want);
+}
+
+TEST(ServerSession, TimingOptInAddsSecondsWithoutChangingTheRest) {
+  ServeOptions options = with_threads(1);
+  options.include_timing = true;
+  Server server(options);
+  server.push_line(frame("t1", test::diamond(), 2, 1));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  ASSERT_NE(doc.find("seconds"), nullptr);
+  EXPECT_GE(doc.find("seconds")->as_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace acolay::server
