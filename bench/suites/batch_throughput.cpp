@@ -107,10 +107,14 @@ harness::Suite batch_throughput_suite() {
         std::vector<core::BatchJobId> ids;
         ids.reserve(last - first);
         for (std::size_t i = first; i < last; ++i) {
-          ids.push_back(solver.submit(job_graph(i), job_params(i)));
+          core::SolveRequest request;
+          request.graph = &job_graph(i);
+          request.params = job_params(i);
+          ids.push_back(solver.submit(request));
         }
         for (const auto id : ids) {
-          batch_objective_sum += solver.wait(id).metrics.objective;
+          batch_objective_sum +=
+              solver.wait_outcome(id).result.metrics.objective;
         }
       }
       const double batch_seconds = batch_watch.elapsed_seconds();

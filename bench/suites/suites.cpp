@@ -12,6 +12,7 @@ std::vector<harness::Suite> all_suites() {
   suites.push_back(metrics_simd_suite());
   suites.push_back(pheromone_update_suite());
   suites.push_back(serving_latency_suite());
+  suites.push_back(relayer_latency_suite());
   return suites;
 }
 

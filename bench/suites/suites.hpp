@@ -48,6 +48,11 @@ harness::Suite pheromone_update_suite();
 /// served-equals-direct objective parity and exact dedup collapse.
 harness::Suite serving_latency_suite();
 
+/// relayer_latency — IncrementalSolver warm update() vs cold full-budget
+/// re-solves over random edit scripts, gated on the >= 3x warm-over-cold
+/// headline and the versioned incremental-quality tolerances.
+harness::Suite relayer_latency_suite();
+
 /// Every registered suite, in canonical order.
 std::vector<harness::Suite> all_suites();
 

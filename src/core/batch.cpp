@@ -208,17 +208,46 @@ void BatchSolver::wait_all() {
   });
 }
 
+namespace {
+
+/// solve_all's submit/harvest bodies, shared by both overloads and kept
+/// on the structured path (the throwing shims are deprecated; solve_all
+/// keeps its own documented throw-on-failure contract via the check
+/// below).
+BatchJobId submit_structured(BatchSolver& solver, const graph::Digraph& g,
+                             const AcoParams& params) {
+  SolveRequest request;
+  request.graph = &g;
+  request.params = params;
+  return solver.submit(request);
+}
+
+AcoResult collect_structured(BatchSolver& solver, BatchJobId id) {
+  // collect_outcome(), not wait_outcome(): moves each result out and
+  // sheds the job's CSR snapshot as soon as it is harvested, so the run
+  // peaks at one copy of the result set instead of two.
+  SolveOutcome outcome = solver.collect_outcome(id);
+  ACOLAY_CHECK_MSG(outcome.ok(),
+                   "batch job " << id << " was rejected ("
+                                << admission_error_code(outcome.error)
+                                << "): " << outcome.message);
+  return std::move(outcome.result);
+}
+
+}  // namespace
+
 std::vector<AcoResult> BatchSolver::solve_all(
     std::span<const graph::Digraph> graphs, const AcoParams& params) {
   std::vector<BatchJobId> ids;
   ids.reserve(graphs.size());
-  for (const graph::Digraph& g : graphs) ids.push_back(submit(g, params));
+  for (const graph::Digraph& g : graphs) {
+    ids.push_back(submit_structured(*this, g, params));
+  }
   std::vector<AcoResult> results;
   results.reserve(ids.size());
-  // collect(), not wait(): moves each result out and sheds the job's CSR
-  // snapshot as soon as it is harvested, so the run peaks at one copy of
-  // the result set instead of two.
-  for (const BatchJobId id : ids) results.push_back(collect(id));
+  for (const BatchJobId id : ids) {
+    results.push_back(collect_structured(*this, id));
+  }
   return results;
 }
 
@@ -232,11 +261,13 @@ std::vector<AcoResult> BatchSolver::solve_all(
   std::vector<BatchJobId> ids;
   ids.reserve(graphs.size());
   for (std::size_t i = 0; i < graphs.size(); ++i) {
-    ids.push_back(submit(graphs[i], params[i]));
+    ids.push_back(submit_structured(*this, graphs[i], params[i]));
   }
   std::vector<AcoResult> results;
   results.reserve(ids.size());
-  for (const BatchJobId id : ids) results.push_back(collect(id));
+  for (const BatchJobId id : ids) {
+    results.push_back(collect_structured(*this, id));
+  }
   return results;
 }
 

@@ -107,7 +107,9 @@ class BatchSolver {
   /// a DAG) and the params, throwing support::CheckError exactly as the
   /// historical API did, then delegates to the request path. Prefer
   /// submit(const SolveRequest&).
-  BatchJobId submit(const graph::Digraph& g, const AcoParams& params);
+  [[deprecated("use submit(const SolveRequest&) — failures become outcome "
+               "codes instead of throws")]] BatchJobId
+  submit(const graph::Digraph& g, const AcoParams& params);
 
   /// Jobs submitted so far (finished or not).
   std::size_t num_jobs() const;
@@ -137,18 +139,24 @@ class BatchSolver {
   /// Deprecated throwing shim: the job's result once finished, nullptr
   /// while queued or running. Rethrows the job's solve error; surfaces a
   /// structured-path admission failure as support::CheckError.
-  const AcoResult* poll(BatchJobId id) const;
+  [[deprecated("use poll_outcome() — failures become outcome codes instead "
+               "of throws")]] const AcoResult*
+  poll(BatchJobId id) const;
 
   /// Deprecated throwing shim over wait_outcome(): returns the result
   /// (owned by the solver), rethrowing failures as the historical API
   /// did.
-  const AcoResult& wait(BatchJobId id);
+  [[deprecated("use wait_outcome() — failures become outcome codes instead "
+               "of throws")]] const AcoResult&
+  wait(BatchJobId id);
 
   /// Deprecated throwing shim over collect_outcome(): moves the result
   /// out and releases the job's graph-sized state (on failure too, so an
   /// errored job on the serving path cannot pin its snapshot), then
   /// rethrows the job's failure if it had one.
-  AcoResult collect(BatchJobId id);
+  [[deprecated("use collect_outcome() — failures become outcome codes "
+               "instead of throws")]] AcoResult
+  collect(BatchJobId id);
 
   /// Blocks until every submitted job has finished. Does not rethrow job
   /// errors — collect those per job via wait()/poll().

@@ -70,21 +70,29 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
   } else {
     ws.tau.reset(n, num_layers, params.tau0);
   }
+
+  run_tours(g, csr, params, stretched.layering, num_layers, ws, ant_pool,
+            result);
+
+  result.seconds = stopwatch.elapsed_seconds();
+  if (tau_io != nullptr) *tau_io = ws.tau;
+  return result;
+}
+
+void run_tours(const graph::Digraph& g, const graph::CsrView& csr,
+               const AcoParams& params, const layering::Layering& start,
+               int num_layers, ColonyWorkspace& ws,
+               support::ThreadPool* ant_pool, AcoResult& result) {
+  const auto n = g.num_vertices();
+  result.trace.clear();
+  if (n == 0) {
+    result.layering = layering::Layering(0);
+    result.metrics = layering::LayeringMetrics{};
+    return;
+  }
+
+  const layering::MetricsOptions metric_opts{params.dummy_width};
   support::Rng root(params.seed);
-
-  // Global best across tours. Starts as the stretched LPL layering but is
-  // replaced by the first tour's best walk: the paper reports the ants'
-  // layering (whose emergent behaviour is trading height for width), not
-  // max(start, walks) — see Fig. 6's "20 to 30% higher than LPL".
-  layering::Layering best_layering = stretched.layering;
-  layering::LayeringMetrics best_metrics = layering::compute_metrics(
-      g, layering::normalized(best_layering), metric_opts);
-  bool have_walk_result = false;
-  double best_objective = 0.0;
-
-  // Tour base (paper: "Every tour inherits the layering of its
-  // predecessor").
-  layering::Layering base = stretched.layering;
 
   const auto num_ants = static_cast<std::size_t>(params.num_ants);
   // One workspace and result slot per ant, reused across all tours (and
@@ -96,11 +104,27 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
   if (ws.ants.size() < num_ants) ws.ants.resize(num_ants);
   if (ws.walks.size() < num_ants) ws.walks.resize(num_ants);
 
+  // Global best across tours. Starts as the caller's start layering but is
+  // replaced by the first tour's best walk: the paper reports the ants'
+  // layering (whose emergent behaviour is trading height for width), not
+  // max(start, walks) — see Fig. 6's "20 to 30% higher than LPL". The
+  // compact evaluation is the copy-free equivalent of metrics over
+  // normalized(start) (bit-identical; layering/metrics.hpp).
+  ws.best = start;
+  layering::LayeringMetrics best_metrics = layering::compute_metrics(
+      csr, ws.best, metric_opts, ws.ants[0].metrics, /*compact=*/true);
+  bool have_walk_result = false;
+  double best_objective = 0.0;
+
+  // Tour base (paper: "Every tour inherits the layering of its
+  // predecessor").
+  ws.tour_base = start;
+
   // --- Layering phase (Alg. 4) --------------------------------------------
   int stagnant_tours = 0;
   for (int tour = 1; tour <= params.num_tours; ++tour) {
     const auto walk_body = [&](std::size_t ant) {
-      perform_walk(csr, base, num_layers, ws.tau, params,
+      perform_walk(csr, ws.tour_base, num_layers, ws.tau, params,
                    root.fork(static_cast<std::uint64_t>(tour), ant),
                    ws.ants[ant], ws.walks[ant]);
     };
@@ -156,12 +180,12 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
 
     // The tour-best layering (hence its width profile / heuristic state)
     // seeds the next tour (Alg. 4 line 18).
-    base = tour_best.layering;
+    ws.tour_base = tour_best.layering;
 
     if (!have_walk_result || tour_best.objective > best_objective) {
       have_walk_result = true;
       best_objective = tour_best.objective;
-      best_layering = tour_best.layering;
+      ws.best = tour_best.layering;
       best_metrics = tour_best.metrics;
     }
 
@@ -180,11 +204,9 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
     }
   }
 
-  result.layering = layering::normalized(best_layering);
+  result.layering = ws.best;
+  layering::normalize(result.layering, ws.normalize_scratch);
   result.metrics = best_metrics;
-  result.seconds = stopwatch.elapsed_seconds();
-  if (tau_io != nullptr) *tau_io = ws.tau;
-  return result;
 }
 
 AcoResult run_validated_colony(const graph::Digraph& g,

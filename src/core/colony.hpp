@@ -73,6 +73,9 @@ struct ColonyWorkspace {
   std::vector<WalkWorkspace> ants;  ///< one walk workspace per ant slot
   std::vector<WalkResult> walks;    ///< per-ant results of the current tour
   PheromoneMatrix tau;              ///< the shared pheromone matrix
+  layering::Layering tour_base;     ///< run_tours' tour-base scratch
+  layering::Layering best;          ///< run_tours' global-best scratch
+  std::vector<int> normalize_scratch;  ///< finalize-normalize scratch
 
   /// Pre-grows every buffer for colonies of up to `num_ants` ants over
   /// graphs of up to `num_vertices` vertices and `num_layers` layers
@@ -107,6 +110,26 @@ AcoResult run_colony(const graph::Digraph& g, const graph::CsrView& csr,
                      const AcoParams& params, ColonyWorkspace& ws,
                      support::ThreadPool* ant_pool,
                      PheromoneMatrix* tau_io = nullptr);
+
+/// The layering phase (Alg. 4) alone: runs `params.num_tours` tours from
+/// the `start` layering against whatever pheromone matrix `ws.tau`
+/// currently holds, and writes the best layering/metrics/trace into
+/// `result` in place (buffers reused; `seconds` and `initial_objective`
+/// are left untouched). This is run_colony minus the initialisation phase
+/// — run_colony delegates here, and the incremental solve path
+/// (core::IncrementalSolver) calls it directly with a remapped warm matrix
+/// and a repaired start layering, so both paths share one tour loop and
+/// stay bit-identical by construction.
+///
+/// Preconditions: `csr` snapshots `g`, `start` is a valid layering of `g`
+/// within [1, num_layers], `ws.tau` is sized exactly
+/// (g.num_vertices(), num_layers), and `params` passes
+/// validate_aco_params. Allocation-free once `ws` and `result` have
+/// reached their high-water sizes.
+void run_tours(const graph::Digraph& g, const graph::CsrView& csr,
+               const AcoParams& params, const layering::Layering& start,
+               int num_layers, ColonyWorkspace& ws,
+               support::ThreadPool* ant_pool, AcoResult& result);
 
 /// Pool-policy wrapper over run_colony for validated inputs: freezes the
 /// CSR snapshot and runs the ants serially for num_threads == 1 or on a

@@ -109,6 +109,24 @@ class PheromoneMatrix {
               double tau_min, double tau_max,
               support::ThreadPool* pool = nullptr);
 
+  /// The contiguous row of vertex `v` (index 0 = layer 1) — the bulk
+  /// accessor the incremental solver's row remap copies through.
+  std::span<const double> row(graph::VertexId v) const {
+    ACOLAY_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < vertices_,
+                     "vertex " << v << " out of range");
+    return {tau_.data() + offset_unchecked(v, 1),
+            static_cast<std::size_t>(layers_)};
+  }
+
+  /// Mutable row of vertex `v` (index 0 = layer 1). The caller owns
+  /// validity: entries must stay positive for the walk's scoring rule.
+  std::span<double> row(graph::VertexId v) {
+    ACOLAY_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < vertices_,
+                     "vertex " << v << " out of range");
+    return {tau_.data() + offset_unchecked(v, 1),
+            static_cast<std::size_t>(layers_)};
+  }
+
   /// Smallest element (O(n·L); requires a non-empty matrix).
   double min_value() const;
   /// Largest element (O(n·L); requires a non-empty matrix).

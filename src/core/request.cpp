@@ -23,6 +23,8 @@ const char* admission_error_code(AdmissionError error) {
       return "deadline_expired";
     case AdmissionError::kInternal:
       return "internal";
+    case AdmissionError::kUnknownFingerprint:
+      return "unknown_fingerprint";
   }
   return "internal";
 }

@@ -36,11 +36,14 @@ enum class AdmissionError {
   kOverloaded,       ///< request queue full — backpressure (serving layer)
   kDeadlineExpired,  ///< deadline passed before dispatch (serving layer)
   kInternal,         ///< unexpected solver failure (serving layer)
+  kUnknownFingerprint,  ///< delta frame references no live warm state
+                        ///< (serving layer)
 };
 
 /// Stable wire identifier of an AdmissionError ("cycle", "bad_param",
-/// "bad_request", "overloaded", "deadline_expired", "internal"; "ok" for
-/// kNone) — part of the response schema in docs/SERVING.md.
+/// "bad_request", "overloaded", "deadline_expired", "internal",
+/// "unknown_fingerprint"; "ok" for kNone) — part of the response schema in
+/// docs/SERVING.md.
 const char* admission_error_code(AdmissionError error);
 
 /// One layering request: the graph, the search parameters, and the

@@ -1,0 +1,181 @@
+#include "gen/edit_script.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "baselines/longest_path.hpp"
+#include "layering/layering.hpp"
+#include "support/check.hpp"
+
+namespace acolay::gen {
+
+namespace {
+
+enum OpKind : std::size_t {
+  kAddEdge = 0,
+  kRemoveEdge,
+  kSetWidth,
+  kAddVertex,
+  kRemoveVertex,
+  kNumOps,
+};
+
+/// Resamples a width from the current empirical width distribution (the
+/// LayerDAG-style "matched statistics" rule); unit width for an empty
+/// graph.
+double sample_width(const graph::Digraph& g, support::Rng& rng) {
+  if (g.num_vertices() == 0) return 1.0;
+  return g.width(
+      static_cast<graph::VertexId>(rng.index(g.num_vertices())));
+}
+
+}  // namespace
+
+std::vector<graph::GraphDelta> random_edit_script(
+    const graph::Digraph& base, const EditScriptParams& params,
+    support::Rng& rng) {
+  ACOLAY_CHECK(params.num_deltas >= 0);
+  ACOLAY_CHECK(params.edits_per_delta >= 0);
+  ACOLAY_CHECK(params.max_edge_tries >= 1);
+
+  graph::Digraph g = base;
+  std::vector<graph::GraphDelta> script;
+  script.reserve(static_cast<std::size_t>(params.num_deltas));
+
+  for (int step = 0; step < params.num_deltas; ++step) {
+    graph::GraphDelta delta;
+
+    // Draw the op kinds up front, masked to what the current state can
+    // support, then realize them in apply_delta's phase order so recorded
+    // ids live in the right id spaces.
+    std::array<int, kNumOps> count{};
+    for (int edit = 0; edit < params.edits_per_delta; ++edit) {
+      std::array<double, kNumOps> weights{};
+      weights[kAddEdge] = std::max(params.w_add_edge, 0.0);
+      weights[kSetWidth] =
+          g.num_vertices() > 0 ? std::max(params.w_set_width, 0.0) : 0.0;
+      weights[kAddVertex] = std::max(params.w_add_vertex, 0.0);
+      const auto pending_removals =
+          static_cast<std::size_t>(count[kRemoveEdge]);
+      weights[kRemoveEdge] = g.num_edges() > pending_removals
+                                 ? std::max(params.w_remove_edge, 0.0)
+                                 : 0.0;
+      const auto pending_vertex_removals =
+          static_cast<std::size_t>(count[kRemoveVertex]);
+      weights[kRemoveVertex] =
+          g.num_vertices() > pending_vertex_removals + 2
+              ? std::max(params.w_remove_vertex, 0.0)
+              : 0.0;
+      double total = 0.0;
+      for (const double w : weights) total += w;
+      if (total <= 0.0) break;
+      ++count[rng.weighted_index(weights)];
+    }
+
+    // Phase 1 — edge removals (old id space): uniform without replacement
+    // from the current edge set.
+    if (count[kRemoveEdge] > 0) {
+      std::vector<graph::Edge> pool = g.edges();
+      for (int i = 0; i < count[kRemoveEdge] && !pool.empty(); ++i) {
+        const std::size_t pick = rng.index(pool.size());
+        delta.remove_edges.push_back(pool[pick]);
+        pool[pick] = pool.back();
+        pool.pop_back();
+      }
+      for (const graph::Edge& e : delta.remove_edges) {
+        g.remove_edge(e.source, e.target);
+      }
+    }
+
+    // Phase 2 — vertex removals (old id space; incident edges implicit).
+    // Recorded against the graph as of this delta's start, which phase 1
+    // left unchanged id-wise; the compaction is applied through
+    // apply_delta itself so the generator and the consumer share one
+    // remap semantics.
+    if (count[kRemoveVertex] > 0) {
+      for (int i = 0; i < count[kRemoveVertex]; ++i) {
+        const std::size_t alive =
+            g.num_vertices() - delta.remove_vertices.size();
+        if (alive <= 2) break;
+        // Rejection-sample a not-yet-chosen vertex (few removals per
+        // delta, so collisions are rare).
+        for (;;) {
+          const auto v =
+              static_cast<graph::VertexId>(rng.index(g.num_vertices()));
+          if (std::find(delta.remove_vertices.begin(),
+                        delta.remove_vertices.end(),
+                        v) == delta.remove_vertices.end()) {
+            delta.remove_vertices.push_back(v);
+            break;
+          }
+        }
+      }
+      graph::GraphDelta compaction;
+      compaction.remove_vertices = delta.remove_vertices;
+      const std::string err = graph::apply_delta(g, compaction);
+      ACOLAY_CHECK_MSG(err.empty(), "edit-script compaction failed: " << err);
+    }
+
+    // Phase 3 — vertex insertions with resampled widths.
+    for (int i = 0; i < count[kAddVertex]; ++i) {
+      const double width = sample_width(g, rng);
+      delta.add_vertex_widths.push_back(width);
+      g.add_vertex(width);
+    }
+
+    // Phase 4 — layer-respecting edge insertions (new id space). A valid
+    // layering of the current graph orients every proposal (strictly
+    // higher layer -> lower layer), so acyclicity holds by construction;
+    // accepted edges satisfy the same layering, which therefore stays
+    // valid for the following proposals. Freshly inserted vertices are
+    // preferentially wired in (degree matching: isolated vertices are
+    // unrealistic in build/compute DAGs).
+    if (count[kAddEdge] > 0 && g.num_vertices() >= 2) {
+      const layering::Layering lpl = baselines::longest_path_layering(g);
+      for (int i = 0; i < count[kAddEdge]; ++i) {
+        for (int attempt = 0; attempt < params.max_edge_tries; ++attempt) {
+          graph::VertexId a =
+              static_cast<graph::VertexId>(rng.index(g.num_vertices()));
+          // Prefer an isolated endpoint when one exists among the newly
+          // added vertices.
+          for (std::size_t k = 0; k < delta.add_vertex_widths.size(); ++k) {
+            const auto fresh = static_cast<graph::VertexId>(
+                g.num_vertices() - 1 - k);
+            if (g.degree(fresh) == 0) {
+              a = fresh;
+              break;
+            }
+          }
+          const auto b =
+              static_cast<graph::VertexId>(rng.index(g.num_vertices()));
+          if (a == b) continue;
+          graph::VertexId u = a;
+          graph::VertexId v = b;
+          if (lpl.layer(u) < lpl.layer(v)) std::swap(u, v);
+          if (lpl.layer(u) == lpl.layer(v)) continue;
+          if (g.has_edge(u, v)) continue;
+          delta.add_edges.push_back(graph::Edge{u, v});
+          g.add_edge(u, v);
+          break;
+        }
+      }
+    }
+
+    // Phase 5 — width changes (new id space), resampled from the current
+    // distribution.
+    for (int i = 0; i < count[kSetWidth] && g.num_vertices() > 0; ++i) {
+      const auto v =
+          static_cast<graph::VertexId>(rng.index(g.num_vertices()));
+      const double width = sample_width(g, rng);
+      delta.set_widths.push_back(graph::WidthChange{v, width});
+      g.set_width(v, width);
+    }
+
+    script.push_back(std::move(delta));
+  }
+  return script;
+}
+
+}  // namespace acolay::gen

@@ -1,0 +1,62 @@
+// Edit-script generation — dynamic-graph workloads for the incremental
+// re-layering path (ROADMAP "incremental re-layering for dynamic graphs").
+//
+// LayerDAG (PAPERS.md, arXiv 2411.02322) argues the DAG families worth
+// serving are incrementally-evolving compute/build graphs, and that
+// realistic generators work layer-wise with degree/width statistics
+// matched to the evolving instance. random_edit_script follows that
+// recipe over any base graph (typically gen::random_dag output): each
+// generated GraphDelta mutates the current graph with
+//
+//   * edge insertions that respect a longest-path layering of the current
+//     graph (edges go from a strictly higher layer to a lower one), so
+//     the instance stays a DAG by construction;
+//   * edge removals drawn uniformly from the current edge set;
+//   * vertex insertions whose widths are resampled from the current width
+//     distribution (matched width statistics), preferentially wired into
+//     the graph by the following edge insertions;
+//   * vertex removals (incident edges go implicitly) and width changes
+//     resampled from the current width distribution.
+//
+// The script is a deterministic function of (base graph, params, rng) —
+// the house requirement for reproducible corpora and bit-identical
+// benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "graph/delta.hpp"
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace acolay::gen {
+
+/// Tunables of random_edit_script. The op weights are relative
+/// probabilities, renormalized per draw over the ops feasible in the
+/// current graph state (e.g. remove_vertex is masked out while the graph
+/// has <= 2 vertices).
+struct EditScriptParams {
+  int num_deltas = 8;       ///< deltas in the script
+  int edits_per_delta = 2;  ///< edit ops attempted per delta
+
+  double w_add_edge = 0.40;       ///< weight of edge insertion
+  double w_remove_edge = 0.30;    ///< weight of edge removal
+  double w_set_width = 0.15;      ///< weight of a width change
+  double w_add_vertex = 0.10;     ///< weight of vertex insertion
+  double w_remove_vertex = 0.05;  ///< weight of vertex removal
+
+  /// Rejection attempts when proposing a feasible new edge before the op
+  /// is skipped (dense graphs run out of layer-respecting non-edges).
+  int max_edge_tries = 16;
+};
+
+/// Generates `params.num_deltas` sequential deltas starting from `base`
+/// (see the file comment for the mutation model). Delta i applies cleanly
+/// — via graph::apply_delta — to base + deltas 0..i-1; every intermediate
+/// graph is a DAG. Deltas may carry fewer ops than `edits_per_delta` when
+/// feasible ops run out.
+std::vector<graph::GraphDelta> random_edit_script(
+    const graph::Digraph& base, const EditScriptParams& params,
+    support::Rng& rng);
+
+}  // namespace acolay::gen

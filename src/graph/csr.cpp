@@ -1,5 +1,6 @@
 #include "graph/csr.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/rng.hpp"
@@ -13,6 +14,16 @@ namespace {
 /// one place).
 std::uint64_t mix(std::uint64_t value) {
   return support::splitmix64(value);  // by-value copy: state not retained
+}
+
+/// The per-edge fingerprint key: (source, target) packed into 64 bits and
+/// mixed. Summed commutatively per source vertex, so adjacency-list order
+/// never matters and a removal subtracts exactly what insertion added.
+std::uint64_t edge_key(VertexId u, VertexId w) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(w));
+  return mix(key);
 }
 
 }  // namespace
@@ -31,6 +42,7 @@ void CsrView::rebuild(const Digraph& g) {
   edges_.clear();
   edges_.reserve(m);
   width_.resize(n);
+  edge_fold_.resize(n);
 
   for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
     const auto i = static_cast<std::size_t>(v);
@@ -38,36 +50,136 @@ void CsrView::rebuild(const Digraph& g) {
     // Copy both adjacency lists verbatim: order preservation is what makes
     // BFS orders and float accumulation bit-identical across
     // representations (see the header comment).
+    std::uint64_t fold = 0;
     for (const VertexId w : g.successors(v)) {
       out_targets_.push_back(w);
       edges_.push_back(Edge{v, w});
+      fold += edge_key(v, w);
     }
+    edge_fold_[i] = fold;
     out_offsets_[i + 1] = out_targets_.size();
     for (const VertexId p : g.predecessors(v)) in_sources_.push_back(p);
     in_offsets_[i + 1] = in_sources_.size();
   }
 }
 
+RefreezeKind CsrView::refreeze(const Digraph& g, const GraphDelta& delta,
+                               double churn_threshold) {
+  // Vertex-set changes renumber ids; there is nothing incremental to
+  // salvage, so take the full path.
+  if (delta.touches_vertex_set()) {
+    rebuild(g);
+    return RefreezeKind::kFull;
+  }
+  ACOLAY_CHECK_MSG(g.num_vertices() == num_vertices_,
+                   "refreeze: delta does not touch the vertex set but the "
+                   "vertex count changed ("
+                       << num_vertices_ << " -> " << g.num_vertices() << ")");
+
+  const std::size_t n = num_vertices_;
+  if (delta.remove_edges.empty() && delta.add_edges.empty()) {
+    // Width-only (or empty) delta: adjacency arrays and edge folds are
+    // already exact; patch the width payloads in place.
+    for (const WidthChange& c : delta.set_widths) {
+      width_[static_cast<std::size_t>(c.vertex)] = c.width;
+    }
+    return RefreezeKind::kWidthsOnly;
+  }
+
+  const double churn = static_cast<double>(delta.edge_churn());
+  if (churn > churn_threshold * static_cast<double>(std::max<std::size_t>(
+                                    edges_.size(), 1))) {
+    rebuild(g);
+    return RefreezeKind::kFull;
+  }
+
+  // Patched path: mark the rows the delta touches, compose the fingerprint
+  // folds, then rebuild the arrays in one pass — unchanged rows are
+  // block-copied from the old snapshot, changed rows re-read from `g`
+  // (whose mutated adjacency is the ground truth, so the result is
+  // trivially bit-identical to rebuild(g)).
+  out_changed_.assign(n, 0);
+  in_changed_.assign(n, 0);
+  for (const Edge& e : delta.remove_edges) {
+    out_changed_[static_cast<std::size_t>(e.source)] = 1;
+    in_changed_[static_cast<std::size_t>(e.target)] = 1;
+    edge_fold_[static_cast<std::size_t>(e.source)] -=
+        edge_key(e.source, e.target);
+  }
+  for (const Edge& e : delta.add_edges) {
+    out_changed_[static_cast<std::size_t>(e.source)] = 1;
+    in_changed_[static_cast<std::size_t>(e.target)] = 1;
+    edge_fold_[static_cast<std::size_t>(e.source)] +=
+        edge_key(e.source, e.target);
+  }
+
+  const std::size_t m = g.num_edges();
+  // New successor arrays + the source-major edge array (its per-source
+  // spans mirror the out rows, so the same unchanged/changed split
+  // applies). Old out_offsets_ stays live until both are built.
+  scratch_ids_.clear();
+  scratch_ids_.reserve(m);
+  scratch_edges_.clear();
+  scratch_edges_.reserve(m);
+  scratch_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (out_changed_[i] == 0) {
+      const auto begin = out_offsets_[i];
+      const auto end = out_offsets_[i + 1];
+      scratch_ids_.insert(scratch_ids_.end(), out_targets_.begin() + begin,
+                          out_targets_.begin() + end);
+      scratch_edges_.insert(scratch_edges_.end(), edges_.begin() + begin,
+                            edges_.begin() + end);
+    } else {
+      for (const VertexId w : g.successors(v)) {
+        scratch_ids_.push_back(w);
+        scratch_edges_.push_back(Edge{v, w});
+      }
+    }
+    scratch_offsets_[i + 1] = scratch_ids_.size();
+  }
+  out_targets_.swap(scratch_ids_);
+  edges_.swap(scratch_edges_);
+  out_offsets_.swap(scratch_offsets_);
+
+  // New predecessor arrays, reusing the scratch the swaps just freed.
+  scratch_ids_.clear();
+  scratch_ids_.reserve(m);
+  scratch_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (in_changed_[i] == 0) {
+      const auto begin = in_offsets_[i];
+      const auto end = in_offsets_[i + 1];
+      scratch_ids_.insert(scratch_ids_.end(), in_sources_.begin() + begin,
+                          in_sources_.begin() + end);
+    } else {
+      for (const VertexId p : g.predecessors(v)) scratch_ids_.push_back(p);
+    }
+    scratch_offsets_[i + 1] = scratch_ids_.size();
+  }
+  in_sources_.swap(scratch_ids_);
+  in_offsets_.swap(scratch_offsets_);
+
+  for (const WidthChange& c : delta.set_widths) {
+    width_[static_cast<std::size_t>(c.vertex)] = c.width;
+  }
+  return RefreezeKind::kPatched;
+}
+
 std::uint64_t CsrView::fingerprint() const {
   // Version tag: bump if the folding scheme ever changes deliberately —
   // the pinned-value test in tests/graph_csr_test.cpp must change with it.
+  // The per-vertex successor folds are cached (edge_fold_, maintained by
+  // rebuild and composed by refreeze), so this is O(n) even after an
+  // incremental re-freeze. Parallel edges are impossible (Digraph rejects
+  // them), so the commutative sum cannot cancel duplicates.
   std::uint64_t h = mix(0x61636f6c'61793031ULL);  // "acolay01"
   h = mix(h ^ static_cast<std::uint64_t>(num_vertices_));
-  for (VertexId v = 0; static_cast<std::size_t>(v) < num_vertices_; ++v) {
-    const auto i = static_cast<std::size_t>(v);
-    // Commutative fold of the successor set: the sum makes the result
-    // independent of adjacency-list order (see the header contract).
-    // Parallel edges are impossible (Digraph rejects them), so the sum
-    // cannot cancel duplicates.
-    std::uint64_t edge_fold = 0;
-    for (const VertexId w : successors(v)) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
-          static_cast<std::uint64_t>(static_cast<std::uint32_t>(w));
-      edge_fold += mix(key);
-    }
+  for (std::size_t i = 0; i < num_vertices_; ++i) {
     h = mix(h ^ std::bit_cast<std::uint64_t>(width_[i]));
-    h = mix(h ^ edge_fold);
+    h = mix(h ^ edge_fold_[i]);
   }
   return h;
 }

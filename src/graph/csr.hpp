@@ -20,7 +20,9 @@
 // accumulation in the metrics — are bit-identical on either representation.
 //
 // The view is a snapshot: mutating the source Digraph afterwards does not
-// update it; rebuild() re-snapshots while reusing the buffers.
+// update it; rebuild() re-snapshots while reusing the buffers, and
+// refreeze() re-snapshots *incrementally* when the caller can describe the
+// mutation as a GraphDelta (the incremental re-layering path).
 #pragma once
 
 #include <cstddef>
@@ -28,10 +30,23 @@
 #include <span>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/digraph.hpp"
 #include "support/check.hpp"
 
 namespace acolay::graph {
+
+/// Which path CsrView::refreeze took — observable so callers (and the
+/// bench suites) can assert the fast path actually ran.
+enum class RefreezeKind {
+  /// Only vertex widths changed: the adjacency arrays were left untouched.
+  kWidthsOnly,
+  /// Edge churn below the threshold: arrays rebuilt by a single
+  /// copy-with-patch pass, allocation-free once scratch capacity is warm.
+  kPatched,
+  /// Vertex set changed or churn above the threshold: full rebuild().
+  kFull,
+};
 
 class CsrView {
  public:
@@ -42,6 +57,22 @@ class CsrView {
 
   /// Re-snapshots `g`, reusing the existing buffers where capacity allows.
   void rebuild(const Digraph& g);
+
+  /// Incrementally re-snapshots `g`, which must be the result of applying
+  /// `delta` to the graph this view currently snapshots (the caller owns
+  /// that contract; apply_delta + refreeze is the intended pairing).
+  ///
+  /// Three observable paths (see RefreezeKind): width-only deltas patch
+  /// `width_` in place in O(|delta|); edge deltas whose churn stays at or
+  /// below `churn_threshold * num_edges()` rebuild the arrays with a
+  /// single copy-with-patch pass over the old snapshot (unchanged rows are
+  /// block-copied, changed rows re-read from `g` — allocation-free once
+  /// the internal scratch buffers are warm); everything else falls back to
+  /// a full rebuild(g). All three end bit-identical to rebuild(g), and the
+  /// cached per-vertex fingerprint folds are composed from the delta on
+  /// the fast paths, so fingerprint() agrees with a full freeze exactly.
+  RefreezeKind refreeze(const Digraph& g, const GraphDelta& delta,
+                        double churn_threshold = 0.25);
 
   std::size_t num_vertices() const { return num_vertices_; }
   std::size_t num_edges() const { return edges_.size(); }
@@ -109,6 +140,18 @@ class CsrView {
   std::vector<VertexId> in_sources_;
   std::vector<Edge> edges_;
   std::vector<double> width_;
+  // Per-vertex commutative fold of the successor set, maintained by
+  // rebuild() and patched by refreeze(): makes fingerprint() O(n) and
+  // delta-composable (the fold is an unsigned sum, so removal subtracts
+  // exactly what insertion added).
+  std::vector<std::uint64_t> edge_fold_;
+  // refreeze() scratch, only populated by the patched path; persisted so
+  // steady-state incremental re-freezes allocate nothing.
+  std::vector<std::size_t> scratch_offsets_;
+  std::vector<VertexId> scratch_ids_;
+  std::vector<Edge> scratch_edges_;
+  std::vector<std::uint8_t> out_changed_;
+  std::vector<std::uint8_t> in_changed_;
 };
 
 }  // namespace acolay::graph

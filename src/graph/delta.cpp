@@ -1,0 +1,114 @@
+#include "graph/delta.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acolay::graph {
+
+namespace {
+
+std::string edge_text(const Edge& e) {
+  return std::to_string(e.source) + " -> " + std::to_string(e.target);
+}
+
+bool in_range(VertexId v, std::size_t n) {
+  return v >= 0 && static_cast<std::size_t>(v) < n;
+}
+
+}  // namespace
+
+std::string apply_delta(Digraph& g, const GraphDelta& delta,
+                        DeltaRemap* remap) {
+  if (remap != nullptr) remap->old_to_new.clear();
+
+  // Phase 1: edge removals, old id space. A duplicate entry fails naturally
+  // (the second removal finds nothing).
+  for (const Edge& e : delta.remove_edges) {
+    if (!in_range(e.source, g.num_vertices()) ||
+        !in_range(e.target, g.num_vertices())) {
+      return "remove_edges: vertex out of range in edge " + edge_text(e);
+    }
+    if (!g.remove_edge(e.source, e.target)) {
+      return "remove_edges: edge " + edge_text(e) + " does not exist";
+    }
+  }
+
+  // Phase 2: vertex removals with dense renumbering. This is the slow path
+  // (it rebuilds the container); edge-only deltas never reach it.
+  if (!delta.remove_vertices.empty()) {
+    const std::size_t n = g.num_vertices();
+    std::vector<std::uint8_t> removed(n, 0);
+    for (const VertexId v : delta.remove_vertices) {
+      if (!in_range(v, n)) {
+        return "remove_vertices: vertex " + std::to_string(v) +
+               " out of range";
+      }
+      if (removed[static_cast<std::size_t>(v)] != 0) {
+        return "remove_vertices: duplicate vertex " + std::to_string(v);
+      }
+      removed[static_cast<std::size_t>(v)] = 1;
+    }
+
+    std::vector<VertexId> old_to_new(n, DeltaRemap::kRemoved);
+    Digraph compacted;
+    compacted.reserve(n - delta.remove_vertices.size(), g.num_edges());
+    for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (removed[static_cast<std::size_t>(v)] != 0) continue;
+      old_to_new[static_cast<std::size_t>(v)] =
+          compacted.add_vertex(g.width(v), g.label(v));
+    }
+    // Surviving edges, source-major in the old adjacency order. Successor
+    // lists keep their relative order; predecessor lists are canonicalized
+    // to source-major (see the header comment).
+    for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      const VertexId nv = old_to_new[static_cast<std::size_t>(v)];
+      if (nv == DeltaRemap::kRemoved) continue;
+      for (const VertexId w : g.successors(v)) {
+        const VertexId nw = old_to_new[static_cast<std::size_t>(w)];
+        if (nw != DeltaRemap::kRemoved) compacted.add_edge(nv, nw);
+      }
+    }
+    g = std::move(compacted);
+    if (remap != nullptr) remap->old_to_new = std::move(old_to_new);
+  }
+
+  // Phase 3: appended vertices.
+  for (const double width : delta.add_vertex_widths) {
+    if (!(width >= 0.0)) {
+      return "add_vertex_widths: width must be non-negative";
+    }
+    g.add_vertex(width);
+  }
+
+  // Phase 4: edge additions, new id space.
+  for (const Edge& e : delta.add_edges) {
+    if (!in_range(e.source, g.num_vertices()) ||
+        !in_range(e.target, g.num_vertices())) {
+      return "add_edges: vertex out of range in edge " + edge_text(e);
+    }
+    if (e.source == e.target) {
+      return "add_edges: self-loop on vertex " + std::to_string(e.source);
+    }
+    if (!g.add_edge(e.source, e.target)) {
+      return "add_edges: edge " + edge_text(e) + " already exists";
+    }
+  }
+
+  // Phase 5: width overrides, new id space.
+  for (const WidthChange& c : delta.set_widths) {
+    if (!in_range(c.vertex, g.num_vertices())) {
+      return "set_widths: vertex " + std::to_string(c.vertex) +
+             " out of range";
+    }
+    if (!(c.width >= 0.0)) {
+      return "set_widths: width must be non-negative";
+    }
+    g.set_width(c.vertex, c.width);
+  }
+
+  return {};
+}
+
+}  // namespace acolay::graph

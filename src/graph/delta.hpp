@@ -1,0 +1,124 @@
+// Batched graph mutations — the unit of change for incremental re-layering.
+//
+// A GraphDelta describes one transactional edit of a Digraph: edge
+// insertions/removals, vertex additions/removals, and width changes. It is
+// the currency of the incremental solve path (core::IncrementalSolver, the
+// serving layer's "delta" request frame, and CsrView::refreeze all consume
+// the same type), so its application semantics are pinned precisely here.
+//
+// Application order (apply_delta):
+//
+//   1. remove_edges     — ids in the *old* vertex space
+//   2. remove_vertices  — ids in the *old* vertex space; incident edges
+//                         that survive phase 1 are removed implicitly
+//   3. add_vertex_widths — new vertices appended, ids n' .. n'+k-1 where
+//                         n' is the post-removal count
+//   4. add_edges        — ids in the *new* (post-remap, post-append) space
+//   5. set_widths       — ids in the new space
+//
+// Vertex removal compacts the id space: survivors keep their relative
+// order and are renumbered densely (DeltaRemap reports old -> new).
+// Removal also canonicalizes predecessor-list order to source-major —
+// after a vertex removal there is no prior adjacency order to preserve,
+// and determinism only requires the result to be a pure function of
+// (graph, delta), which it is. Edge-only deltas mutate in place and
+// preserve the relative order of untouched adjacency entries exactly, so
+// the fast CSR re-freeze path stays bit-compatible with a full freeze.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace acolay::graph {
+
+/// A single width change (vertex id in the delta's *new* id space).
+struct WidthChange {
+  VertexId vertex = -1;
+  double width = 1.0;
+
+  friend bool operator==(const WidthChange&, const WidthChange&) = default;
+};
+
+/// One batched, transactional mutation of a Digraph. See the file comment
+/// for the exact application order and id spaces.
+struct GraphDelta {
+  /// Edges to remove, old id space (phase 1).
+  std::vector<Edge> remove_edges;
+  /// Vertices to remove, old id space (phase 2); incident edges go too.
+  std::vector<VertexId> remove_vertices;
+  /// Widths of appended vertices (phase 3); ids are assigned densely.
+  std::vector<double> add_vertex_widths;
+  /// Edges to add, new id space (phase 4).
+  std::vector<Edge> add_edges;
+  /// Width overrides, new id space (phase 5).
+  std::vector<WidthChange> set_widths;
+
+  /// True when the delta performs no mutation at all.
+  bool empty() const {
+    return remove_edges.empty() && remove_vertices.empty() &&
+           add_vertex_widths.empty() && add_edges.empty() && set_widths.empty();
+  }
+
+  /// True when the vertex set changes (forces a full CSR re-freeze).
+  bool touches_vertex_set() const {
+    return !remove_vertices.empty() || !add_vertex_widths.empty();
+  }
+
+  /// Number of edge insertions + removals (the churn measure refreeze
+  /// compares against its threshold).
+  std::size_t edge_churn() const {
+    return remove_edges.size() + add_edges.size();
+  }
+
+  /// Resets to the empty delta, keeping buffer capacity.
+  void clear() {
+    remove_edges.clear();
+    remove_vertices.clear();
+    add_vertex_widths.clear();
+    add_edges.clear();
+    set_widths.clear();
+  }
+
+  friend bool operator==(const GraphDelta&, const GraphDelta&) = default;
+};
+
+/// Old-id -> new-id vertex mapping produced by apply_delta.
+///
+/// `old_to_new` is empty for deltas that do not touch the vertex set (the
+/// identity mapping — the common fast path allocates nothing); otherwise it
+/// has one entry per *old* vertex, `kRemoved` for vertices the delta
+/// deleted.
+struct DeltaRemap {
+  /// Sentinel for a removed vertex.
+  static constexpr VertexId kRemoved = -1;
+
+  /// Per-old-vertex new id, or empty when the mapping is the identity.
+  std::vector<VertexId> old_to_new;
+
+  /// True when every old vertex keeps its id.
+  bool is_identity() const { return old_to_new.empty(); }
+
+  /// New id of old vertex `v`, or kRemoved. Valid for any in-range old id.
+  VertexId map(VertexId v) const {
+    return is_identity() ? v : old_to_new[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Applies `delta` to `g` in the documented phase order.
+///
+/// Returns the empty string on success; on the first invalid operation
+/// (missing edge, duplicate edge, out-of-range id, negative width, ...)
+/// returns a diagnostic and leaves `g` in a partially-mutated state —
+/// callers that need transactionality apply to a scratch copy and commit
+/// on success (core::IncrementalSolver does exactly this). Acyclicity is
+/// *not* checked here; it is a solver-level admission concern.
+///
+/// When `remap` is non-null it receives the old->new vertex mapping
+/// (identity — no allocation — unless the delta removes vertices).
+std::string apply_delta(Digraph& g, const GraphDelta& delta,
+                        DeltaRemap* remap = nullptr);
+
+}  // namespace acolay::graph

@@ -29,6 +29,22 @@ bool Digraph::add_edge(VertexId u, VertexId v) {
   return true;
 }
 
+bool Digraph::remove_edge(VertexId u, VertexId v) {
+  check_vertex(u);
+  check_vertex(v);
+  auto& out_u = out_[static_cast<std::size_t>(u)];
+  const auto out_it = std::find(out_u.begin(), out_u.end(), v);
+  if (out_it == out_u.end()) return false;
+  auto& in_v = in_[static_cast<std::size_t>(v)];
+  const auto in_it = std::find(in_v.begin(), in_v.end(), u);
+  ACOLAY_CHECK_MSG(in_it != in_v.end(), "adjacency lists out of sync for edge "
+                                            << u << " -> " << v);
+  out_u.erase(out_it);  // erase keeps relative order (no swap-with-back)
+  in_v.erase(in_it);
+  --num_edges_;
+  return true;
+}
+
 void Digraph::reserve(std::size_t vertices, std::size_t edges) {
   out_.reserve(vertices);
   in_.reserve(vertices);

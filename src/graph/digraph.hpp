@@ -49,6 +49,12 @@ class Digraph {
   /// (and leaves the graph unchanged) if the edge already exists.
   bool add_edge(VertexId u, VertexId v);
 
+  /// Removes edge u -> v, preserving the relative order of the remaining
+  /// adjacency entries (an order-sensitive consumer such as CsrView sees
+  /// the same graph whether the edge never existed or was removed).
+  /// Returns false if the edge does not exist.
+  bool remove_edge(VertexId u, VertexId v);
+
   void reserve(std::size_t vertices, std::size_t edges);
 
   // --- topology -----------------------------------------------------------

@@ -75,8 +75,14 @@ std::string validate_layering(const graph::Digraph& g, const Layering& l) {
 }
 
 int normalize(Layering& l) {
+  std::vector<int> scratch;
+  return normalize(l, scratch);
+}
+
+int normalize(Layering& l, std::vector<int>& scratch) {
   if (l.num_vertices() == 0) return 0;
-  std::vector<int> occupied = l.raw();
+  scratch = l.raw();  // copy-assign reuses the scratch buffer's capacity
+  std::vector<int>& occupied = scratch;
   std::sort(occupied.begin(), occupied.end());
   occupied.erase(std::unique(occupied.begin(), occupied.end()),
                  occupied.end());

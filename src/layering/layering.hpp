@@ -28,6 +28,15 @@ class Layering {
   /// Wraps an explicit assignment (1-based layers).
   static Layering from_vector(std::vector<int> layers);
 
+  /// Re-sizes to `n` vertices all on `initial_layer`, reusing the buffer —
+  /// the capacity-preserving counterpart of constructing Layering(n),
+  /// for workspaces reused across incremental solves.
+  void reset(std::size_t n, int initial_layer = 1) {
+    ACOLAY_CHECK_MSG(initial_layer >= 1,
+                     "layers are 1-based, got " << initial_layer);
+    layer_.assign(n, initial_layer);
+  }
+
   /// Number of vertices the layering covers.
   std::size_t num_vertices() const { return layer_.size(); }
 
@@ -85,6 +94,11 @@ std::string validate_layering(const graph::Digraph& g, const Layering& l);
 /// preserved) — the paper's §VI "Note" post-processing step. Returns the
 /// number of empty layers removed. Validity is preserved.
 int normalize(Layering& l);
+
+/// Allocation-free overload for hot paths (the colony's per-run finalize,
+/// the incremental update loop): `scratch` is caller-owned and reused,
+/// growing to |V| once. Identical result to normalize(l).
+int normalize(Layering& l, std::vector<int>& scratch);
 
 /// Copying variant of normalize.
 Layering normalized(const Layering& l);

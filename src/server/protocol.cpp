@@ -108,6 +108,117 @@ AdmissionError apply_param(const std::string& key, const JsonValue& v,
   return AdmissionError::kBadParam;
 }
 
+/// Reads a [first, second] pair of non-negative ints. kNone on success.
+AdmissionError parse_id_pair(const JsonValue& e, const char* what, int& first,
+                             int& second, std::string& message) {
+  std::optional<int> u, v;
+  if (e.is_array() && e.size() == 2) {
+    u = to_int(e[0]);
+    v = to_int(e[1]);
+  }
+  if (!u || !v || *u < 0 || *v < 0) {
+    message = std::string(what) +
+              " entries must be [a, b] pairs of non-negative integer ids";
+    return AdmissionError::kBadRequest;
+  }
+  first = *u;
+  second = *v;
+  return AdmissionError::kNone;
+}
+
+/// Materializes the "delta" object into `out`. Shapes and signs are
+/// checked here; whether the ids exist in the base graph is only known to
+/// the session (graph::apply_delta reports that against the live graph).
+AdmissionError parse_delta(const JsonValue& spec, ParsedRequest& out,
+                           std::string& message) {
+  if (!spec.is_object()) {
+    message = "\"delta\" must be an object";
+    return AdmissionError::kBadRequest;
+  }
+  bool have_base = false;
+  for (const auto& [key, value] : spec.members()) {
+    if (key == "base") {
+      const auto fp =
+          value.is_string() ? parse_fingerprint_hex(value.as_string())
+                            : std::nullopt;
+      if (!fp) {
+        message = "delta.base must be a 16-digit lowercase-hex fingerprint";
+        return AdmissionError::kBadRequest;
+      }
+      out.base_fingerprint = *fp;
+      have_base = true;
+    } else if (key == "remove_edges" || key == "add_edges") {
+      if (!value.is_array()) {
+        message = "delta." + key + " must be an array of [source, target]";
+        return AdmissionError::kBadRequest;
+      }
+      auto& edges = key == "add_edges" ? out.delta.add_edges
+                                       : out.delta.remove_edges;
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        int u = 0, v = 0;
+        if (const AdmissionError e =
+                parse_id_pair(value[i], "delta edge", u, v, message);
+            e != AdmissionError::kNone) {
+          return e;
+        }
+        edges.push_back(graph::Edge{u, v});
+      }
+    } else if (key == "remove_vertices") {
+      if (!value.is_array()) {
+        message = "delta.remove_vertices must be an array of vertex ids";
+        return AdmissionError::kBadRequest;
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        const auto v = to_int(value[i]);
+        if (!v || *v < 0) {
+          message =
+              "delta.remove_vertices entries must be non-negative integers";
+          return AdmissionError::kBadRequest;
+        }
+        out.delta.remove_vertices.push_back(*v);
+      }
+    } else if (key == "add_vertices") {
+      if (!value.is_array()) {
+        message = "delta.add_vertices must be an array of widths";
+        return AdmissionError::kBadRequest;
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        const JsonValue& w = value[i];
+        if (!w.is_number() || !(w.as_double() >= 0.0)) {
+          message = "delta.add_vertices entries must be non-negative widths";
+          return AdmissionError::kBadRequest;
+        }
+        out.delta.add_vertex_widths.push_back(w.as_double());
+      }
+    } else if (key == "set_widths") {
+      if (!value.is_array()) {
+        message = "delta.set_widths must be an array of [vertex, width]";
+        return AdmissionError::kBadRequest;
+      }
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        const JsonValue& e = value[i];
+        std::optional<int> v;
+        if (e.is_array() && e.size() == 2) v = to_int(e[0]);
+        if (!v || *v < 0 || !e[1].is_number() || !(e[1].as_double() >= 0.0)) {
+          message = "delta.set_widths entries must be "
+                    "[vertex id, non-negative width] pairs";
+          return AdmissionError::kBadRequest;
+        }
+        out.delta.set_widths.push_back(
+            graph::WidthChange{*v, e[1].as_double()});
+      }
+    } else {
+      message = "unknown delta key \"" + key + "\"";
+      return AdmissionError::kBadRequest;
+    }
+  }
+  if (!have_base) {
+    message = "delta.base is required";
+    return AdmissionError::kBadRequest;
+  }
+  return AdmissionError::kNone;
+}
+
 /// Materializes the "graph" object into `out.graph`. kNone on success.
 AdmissionError parse_graph(const JsonValue& spec, const RequestLimits& limits,
                            graph::Digraph& g, std::string& message) {
@@ -238,6 +349,8 @@ core::AdmissionError parse_request_line(std::string_view line,
 
   const JsonValue* graph_spec = nullptr;
   const JsonValue* params_spec = nullptr;
+  const JsonValue* delta_spec = nullptr;
+  bool stats_spec = false;
   for (const auto& [key, value] : doc->members()) {
     if (key == "id") {
       if (!value.is_string()) {
@@ -248,6 +361,14 @@ core::AdmissionError parse_request_line(std::string_view line,
       graph_spec = &value;
     } else if (key == "params") {
       params_spec = &value;
+    } else if (key == "delta") {
+      delta_spec = &value;
+    } else if (key == "stats") {
+      if (!value.is_bool() || !value.as_bool()) {
+        message = "\"stats\" must be true";
+        return AdmissionError::kBadRequest;
+      }
+      stats_spec = true;
     } else if (key == "deadline_seconds") {
       if (!value.is_number()) {
         message = "\"deadline_seconds\" must be a number";
@@ -276,6 +397,34 @@ core::AdmissionError parse_request_line(std::string_view line,
     message = "\"id\" (non-empty string) is required";
     return AdmissionError::kBadRequest;
   }
+
+  // Delta and stats frames are their own shapes: exactly id + delta /
+  // id + stats. The solve envelope (params, warm, scheduling) belongs to
+  // the request that established the referenced state, not to the edit.
+  if (stats_spec) {
+    if (graph_spec != nullptr || params_spec != nullptr ||
+        delta_spec != nullptr || out.warm || out.priority != 0 ||
+        out.deadline_seconds != 0.0) {
+      message = "a stats frame carries exactly \"id\" and \"stats\"";
+      return AdmissionError::kBadRequest;
+    }
+    out.kind = RequestKind::kStats;
+    return AdmissionError::kNone;
+  }
+  if (delta_spec != nullptr) {
+    if (graph_spec != nullptr || params_spec != nullptr || out.warm ||
+        out.priority != 0 || out.deadline_seconds != 0.0) {
+      message = "a delta frame carries exactly \"id\" and \"delta\"";
+      return AdmissionError::kBadRequest;
+    }
+    if (const AdmissionError e = parse_delta(*delta_spec, out, message);
+        e != AdmissionError::kNone) {
+      return e;
+    }
+    out.kind = RequestKind::kDelta;
+    return AdmissionError::kNone;
+  }
+
   if (graph_spec == nullptr) {
     message = "\"graph\" is required";
     return AdmissionError::kBadRequest;
@@ -303,7 +452,8 @@ core::AdmissionError parse_request_line(std::string_view line,
 
 std::string render_result_response(const std::string& id,
                                    const core::AcoResult& result,
-                                   bool deduped, double seconds) {
+                                   bool deduped, double seconds,
+                                   std::optional<std::uint64_t> fingerprint) {
   io::JsonWriter w;
   w.begin_object();
   w.kv("schema", std::string(kServeSchema));
@@ -313,6 +463,7 @@ std::string render_result_response(const std::string& id,
   w.key("layering").raw(io::to_json(result.layering));
   w.key("metrics").raw(io::to_json(result.metrics));
   w.kv("initial_objective", result.initial_objective);
+  if (fingerprint) w.kv("fingerprint", fingerprint_hex(*fingerprint));
   if (seconds >= 0.0) w.kv("seconds", seconds);
   w.end_object();
   return w.str();
@@ -330,6 +481,32 @@ std::string render_error_response(const std::string& id,
   w.kv("message", message);
   w.end_object();
   return w.str();
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0; fingerprint >>= 4) {
+    out[i] = kDigits[fingerprint & 0xF];
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_fingerprint_hex(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
 }
 
 }  // namespace acolay::server

@@ -1,7 +1,7 @@
 // Wire protocol of acolay_serve (docs/SERVING.md): newline-delimited JSON
 // frames, one request or response object per line.
 //
-// Request frame:
+// Solve request frame:
 //   {"id": "<caller token>",
 //    "graph": {"num_vertices": n,
 //              "edges": [[u, v], ...],          // u -> v, 0-based ids
@@ -11,11 +11,26 @@
 //    "priority": 3,                             // optional, default 0
 //    "warm": true}                              // optional warm-tau opt-in
 //
+// Delta request frame (incremental re-layering; exactly "id" + "delta"):
+//   {"id": "...",
+//    "delta": {"base": "<16-hex fingerprint>",  // required
+//              "remove_edges": [[u, v], ...],   // old ids
+//              "remove_vertices": [v, ...],     // old ids
+//              "add_vertices": [w, ...],        // widths of appended ids
+//              "add_edges": [[u, v], ...],      // new ids
+//              "set_widths": [[v, w], ...]}}    // new ids
+//
+// Stats request frame (exactly "id" + "stats"):
+//   {"id": "...", "stats": true}
+//
 // Response frame (schema-versioned; see kServeSchema):
 //   {"schema": "...", "id": "...", "status": "ok", "deduped": false,
-//    "layering": {...}, "metrics": {...}[, "seconds": ...]}
+//    "layering": {...}, "metrics": {...}
+//    [, "fingerprint": "<16-hex>"][, "seconds": ...]}
 //   {"schema": "...", "id": "...", "status": "rejected",
 //    "error": "<admission_error_code>", "message": "..."}
+//   {"schema": "<kServeStatsSchema>", "id": "...", "status": "ok",
+//    "stats": {...}}                            // stats frames only
 //
 // Parsing is strict: unknown keys, wrong types, duplicate/self-loop edges,
 // or out-of-range ids reject the frame with a structured error instead of
@@ -26,10 +41,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "core/request.hpp"
+#include "graph/delta.hpp"
 #include "graph/digraph.hpp"
 
 namespace acolay::server {
@@ -37,6 +55,10 @@ namespace acolay::server {
 /// Response schema identifier, bumped on any incompatible change to the
 /// response frames above.
 inline constexpr std::string_view kServeSchema = "acolay.serve/1";
+
+/// Schema identifier of the stats object (the "stats" response frame and
+/// the --stats shutdown line share it — one renderer, one schema).
+inline constexpr std::string_view kServeStatsSchema = "acolay.serve.stats/1";
 
 /// Resource bounds a request frame must fit (checked before the graph is
 /// materialized, so an oversized frame costs its text, not its graph).
@@ -46,17 +68,29 @@ struct RequestLimits {
   std::size_t max_edges = std::size_t{1} << 22;       ///< edge count cap
 };
 
+/// What a request frame asks for.
+enum class RequestKind {
+  kSolve,  ///< full graph solve (the original frame shape)
+  kDelta,  ///< incremental update against a prior fingerprint
+  kStats,  ///< counters snapshot; never touches the solver
+};
+
 /// A successfully parsed request frame: the owned graph plus the solve
 /// envelope (core::SolveRequest is assembled by the session, which owns
-/// the graph's storage).
+/// the graph's storage). For kDelta frames `graph` stays empty and
+/// `base_fingerprint`/`delta` carry the request; kStats frames carry only
+/// the id.
 struct ParsedRequest {
   std::string id;             ///< caller's correlation token, echoed back
+  RequestKind kind = RequestKind::kSolve;  ///< frame shape (see above)
   graph::Digraph graph;       ///< the DAG candidate (acyclicity checked
                               ///< later by the shared admission gate)
   core::AcoParams params;     ///< defaults overlaid with the frame's keys
   double deadline_seconds = 0.0;  ///< relative deadline; <= 0 means none
   int priority = 0;               ///< queue priority (higher first)
   bool warm = false;              ///< warm-pheromone opt-in
+  std::uint64_t base_fingerprint = 0;  ///< kDelta: the referenced state
+  graph::GraphDelta delta;             ///< kDelta: the edit itself
 };
 
 /// Parses one request line. Returns kNone and fills `out` on success;
@@ -72,14 +106,24 @@ core::AdmissionError parse_request_line(std::string_view line,
 /// Renders the success response for `id` (one line, no trailing newline).
 /// `seconds` < 0 omits the timing field — golden transcripts require
 /// byte-stable output, so timing is opt-in (ServeOptions::include_timing).
-std::string render_result_response(const std::string& id,
-                                   const core::AcoResult& result,
-                                   bool deduped, double seconds);
+/// `fingerprint` present attaches the delta-addressable state id (warm
+/// solves and delta updates); nullopt omits the key (cold solves).
+std::string render_result_response(
+    const std::string& id, const core::AcoResult& result, bool deduped,
+    double seconds, std::optional<std::uint64_t> fingerprint = std::nullopt);
 
 /// Renders the rejection response for `id` (one line, no trailing
 /// newline).
 std::string render_error_response(const std::string& id,
                                   core::AdmissionError error,
                                   const std::string& message);
+
+/// The 16-digit lowercase-hex wire form of a CSR fingerprint (what delta
+/// frames reference in "base" and ok responses report as "fingerprint").
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// Parses the wire form back; nullopt unless exactly 16 lowercase hex
+/// digits.
+std::optional<std::uint64_t> parse_fingerprint_hex(std::string_view text);
 
 }  // namespace acolay::server

@@ -23,7 +23,8 @@ int usage(std::ostream& out, int exit_code) {
          "  --timing          include wall-clock seconds in responses\n"
          "  --no-dedup        disable duplicate-request collapsing\n"
          "  --no-warm         disable warm pheromone reuse\n"
-         "  --stats           print a stats summary to stderr on exit\n";
+         "  --stats           print a JSON stats line (acolay.serve.stats/1)\n"
+         "                    to stderr on exit\n";
   return exit_code;
 }
 
@@ -71,15 +72,9 @@ int main(int argc, char** argv) {
   acolay::server::serve_stream(std::cin, std::cout, server);
 
   if (print_stats) {
-    const acolay::server::ServeStats& s = server.stats();
-    std::cerr << "acolay_serve: received=" << s.received
-              << " admitted=" << s.admitted << " solved=" << s.solved
-              << " dedup_shared=" << s.dedup_shared
-              << " dedup_cached=" << s.dedup_cached
-              << " warm_reused=" << s.warm_reused
-              << " rejected_invalid=" << s.rejected_invalid
-              << " rejected_overload=" << s.rejected_overload
-              << " rejected_deadline=" << s.rejected_deadline << '\n';
+    // Same schema-tagged object a "stats" request frame returns, so log
+    // scrapers and wire clients parse one shape.
+    std::cerr << acolay::server::render_stats_line(server.stats()) << '\n';
   }
   return 0;
 }

@@ -4,12 +4,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <istream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
 #include <utility>
 
 #include "graph/csr.hpp"
+#include "io/json.hpp"
 
 namespace acolay::server {
 
@@ -45,7 +48,47 @@ bool same_solve_input(const graph::Digraph& a, const graph::Digraph& b) {
   return true;
 }
 
+/// The schema-tagged stats object shared by the wire frame and the
+/// --stats line.
+void write_stats_object(io::JsonWriter& w, const ServeStats& stats) {
+  w.begin_object();
+  w.kv("schema", std::string(kServeStatsSchema));
+  w.kv("received", stats.received);
+  w.kv("admitted", stats.admitted);
+  w.kv("solved", stats.solved);
+  // The shared-vs-cached split depends on whether the duplicate's leader
+  // had already completed at probe time — scheduling, not stream,
+  // determined. Merged, the count is a pure function of the input.
+  w.kv("dedup_hits", stats.dedup_shared + stats.dedup_cached);
+  w.kv("warm_reused", stats.warm_reused);
+  w.kv("incremental_sessions", stats.incremental_sessions);
+  w.kv("delta_updates", stats.delta_updates);
+  w.kv("rejected_invalid", stats.rejected_invalid);
+  w.kv("rejected_overload", stats.rejected_overload);
+  w.kv("rejected_deadline", stats.rejected_deadline);
+  w.end_object();
+}
+
 }  // namespace
+
+std::string render_stats_response(const std::string& id,
+                                  const ServeStats& stats) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", std::string(kServeSchema));
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.key("stats");
+  write_stats_object(w, stats);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_stats_line(const ServeStats& stats) {
+  io::JsonWriter w;
+  write_stats_object(w, stats);
+  return w.str();
+}
 
 Server::Server(ServeOptions options)
     : options_(options),
@@ -89,6 +132,24 @@ void Server::push_line(std::string_view line) {
     return;
   }
 
+  if (parsed.kind != RequestKind::kSolve) {
+    // Delta and stats frames are sequencing points: everything that
+    // arrived earlier completes (and is answered) first, so both the
+    // snapshot a stats frame reports and the state a delta builds on are
+    // pure functions of the input stream — the property the golden
+    // transcript diffs. kHeld keeps this entry from emitting mid-drain.
+    entry.state = State::kHeld;
+    drain();
+    if (parsed.kind == RequestKind::kStats) {
+      entry.canned = render_stats_response(entry.id, stats_);
+      entry.state = State::kDone;
+    } else {
+      handle_delta(entry, parsed);
+    }
+    emit();
+    return;
+  }
+
   // The shared admission gate (same code path as AntColony and direct
   // BatchSolver use): cycles and out-of-range params are rejected here,
   // before the request can occupy a queue slot.
@@ -116,6 +177,9 @@ void Server::push_line(std::string_view line) {
   entry.params = parsed.params;
   entry.priority = parsed.priority;
   entry.warm = parsed.warm && options_.enable_warm;
+  // Warm responses carry the fingerprint: it is the handle a later delta
+  // frame references (delta sessions seed from warm slots).
+  entry.report_fingerprint = entry.warm;
   if (parsed.deadline_seconds > 0.0) {
     entry.deadline_abs = clock_() + parsed.deadline_seconds;
   }
@@ -125,6 +189,63 @@ void Server::push_line(std::string_view line) {
 
   dispatch();
   emit();
+}
+
+void Server::handle_delta(Entry& entry, ParsedRequest& parsed) {
+  // A live session chain first (keyed by its current fingerprint) …
+  IncSession* session = nullptr;
+  for (IncSession& s : sessions_) {
+    if (s.fingerprint == parsed.base_fingerprint) {
+      session = &s;
+      break;
+    }
+  }
+  // … otherwise seed a new session from the warm slot the referenced
+  // solve wrote back. The slot keeps its own copy: the warm chain and the
+  // delta chain evolve independently from the snapshot point.
+  if (session == nullptr && options_.max_incremental_sessions > 0) {
+    for (WarmSlot& slot : warm_) {
+      if (slot.fingerprint != parsed.base_fingerprint || !slot.has_state) {
+        continue;
+      }
+      if (sessions_.size() >= options_.max_incremental_sessions) {
+        sessions_.pop_front();
+      }
+      core::AcoParams params = slot.params;
+      // Updates run inline on the session thread; bit-identity across
+      // thread counts makes the serial choice invisible in the results.
+      params.num_threads = 1;
+      sessions_.emplace_back();
+      session = &sessions_.back();
+      session->fingerprint = slot.fingerprint;
+      session->solver =
+          std::make_unique<core::IncrementalSolver>(slot.graph, params);
+      session->solver->adopt(slot.tau, slot.best);
+      ++stats_.incremental_sessions;
+      break;
+    }
+  }
+  if (session == nullptr) {
+    ++stats_.rejected_invalid;
+    reject(entry, AdmissionError::kUnknownFingerprint,
+           "no warm state for fingerprint " +
+               fingerprint_hex(parsed.base_fingerprint) +
+               " (solve it with \"warm\": true first)");
+    return;
+  }
+
+  entry.outcome = session->solver->update(parsed.delta);
+  entry.state = State::kDone;
+  if (entry.outcome.ok()) {
+    // Re-key the chain: the next delta references the NEW fingerprint,
+    // which the ok response reports.
+    session->fingerprint = session->solver->fingerprint();
+    entry.fingerprint = session->fingerprint;
+    entry.report_fingerprint = true;
+    ++stats_.delta_updates;
+  } else {
+    ++stats_.rejected_invalid;
+  }
 }
 
 Server::WarmSlot& Server::warm_slot(std::uint64_t fingerprint) {
@@ -220,7 +341,20 @@ bool Server::harvest() {
     entry.outcome = solver_.collect_outcome(entry.job);
     entry.state = State::kDone;
     ++stats_.solved;
-    if (entry.warm_attached) warm_slot(entry.fingerprint).busy = false;
+    if (entry.warm_attached) {
+      WarmSlot& slot = warm_slot(entry.fingerprint);
+      slot.busy = false;
+      if (entry.outcome.ok()) {
+        // Snapshot what a delta session needs (the worker already wrote
+        // the final matrix into slot.tau): the graph before emit() sheds
+        // it, the best layering, and the solve params the session
+        // inherits.
+        slot.graph = entry.graph;
+        slot.best = entry.outcome.result.layering;
+        slot.params = entry.params;
+        slot.has_state = true;
+      }
+    }
 
     // Only cold successful solves enter the dedup cache: warm results
     // depend on the slot's history and must never be served to a request
@@ -258,11 +392,15 @@ bool Server::emit() {
   while (next_emit_ < entries_.size() &&
          entries_[next_emit_].state == State::kDone) {
     Entry& entry = entries_[next_emit_];
-    if (entry.outcome.ok()) {
+    if (!entry.canned.empty()) {
+      responses_.push_back(std::move(entry.canned));
+    } else if (entry.outcome.ok()) {
       const double seconds =
           options_.include_timing ? entry.outcome.result.seconds : -1.0;
       responses_.push_back(render_result_response(
-          entry.id, entry.outcome.result, entry.deduped, seconds));
+          entry.id, entry.outcome.result, entry.deduped, seconds,
+          entry.report_fingerprint ? std::optional(entry.fingerprint)
+                                   : std::nullopt));
     } else {
       responses_.push_back(render_error_response(entry.id, entry.outcome.error,
                                                  entry.outcome.message));
@@ -270,6 +408,7 @@ bool Server::emit() {
     // Answered: shed everything graph-sized; the O(1) record remains.
     entry.graph = graph::Digraph{};
     entry.outcome = core::SolveOutcome{};
+    entry.canned = std::string{};
     ++next_emit_;
     progress = true;
   }

@@ -26,7 +26,19 @@
 //    graphs adopt the previous run's final pheromone matrix (one slot per
 //    fingerprint, one in-flight warm run per slot). Warm results depend
 //    on the chain order, so they are excluded from dedup, from the result
-//    cache, and from the bit-identity contract below.
+//    cache, and from the bit-identity contract below;
+//  * incremental re-layering — "delta" frames reference a prior warm
+//    solve's fingerprint and re-solve the edited graph warm on a
+//    core::IncrementalSolver session (docs/SERVING.md). A delta frame is
+//    a SEQUENCING POINT: the server drains all earlier-arrived work
+//    before applying it, so the response stream stays a pure function of
+//    the input stream. Sessions are linear chains — each successful
+//    update re-keys its session to the new fingerprint, which the ok
+//    response reports; an unmatched base is rejected
+//    `unknown_fingerprint`;
+//  * stats — "stats" frames (also draining sequencing points) answer with
+//    a schema-tagged counter snapshot, shared byte-for-byte with the
+//    --stats shutdown line.
 //
 // Serving contract (pinned by tests/server_session_test.cpp): a cold
 // (non-warm) served result is bit-identical to a direct
@@ -47,13 +59,16 @@
 #include <functional>
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/batch.hpp"
+#include "core/incremental.hpp"
 #include "core/pheromone.hpp"
 #include "core/request.hpp"
+#include "layering/layering.hpp"
 #include "server/protocol.hpp"
 #include "server/queue.hpp"
 #include "support/timer.hpp"
@@ -79,6 +94,9 @@ struct ServeOptions {
   bool enable_dedup = true;
   /// Master switch for per-fingerprint warm pheromone slots.
   bool enable_warm = true;
+  /// Live incremental ("delta") sessions kept at once; FIFO eviction.
+  /// 0 disables delta frames entirely (rejected unknown_fingerprint).
+  std::size_t max_incremental_sessions = 8;
   /// Attach wall-clock "seconds" to ok responses. Off by default: golden
   /// transcripts need byte-stable output.
   bool include_timing = false;
@@ -97,10 +115,24 @@ struct ServeStats {
   std::uint64_t dedup_shared = 0;    ///< joined an in-flight solve
   std::uint64_t dedup_cached = 0;    ///< answered from the result cache
   std::uint64_t warm_reused = 0;     ///< dispatched adopting a warm matrix
+  std::uint64_t incremental_sessions = 0;  ///< delta sessions created
+  std::uint64_t delta_updates = 0;   ///< successful incremental updates
   std::uint64_t rejected_invalid = 0;   ///< bad_request / bad_param / cycle
+                                        ///< / unknown_fingerprint
   std::uint64_t rejected_overload = 0;  ///< backpressure
   std::uint64_t rejected_deadline = 0;  ///< shed at dispatch
 };
+
+/// Renders the "stats" response frame for `id` (one line, no trailing
+/// newline; schema kServeStatsSchema). The in-flight dedup split
+/// (shared vs cached) depends on completion timing, so the wire reports
+/// the merged, stream-deterministic `dedup_hits` instead.
+std::string render_stats_response(const std::string& id,
+                                  const ServeStats& stats);
+
+/// The --stats shutdown line: the same schema-tagged object without the
+/// id/status envelope, so log scrapers and the wire share one schema.
+std::string render_stats_line(const ServeStats& stats);
 
 /// The request/response session (see file comment for the contract).
 class Server {
@@ -146,6 +178,7 @@ class Server {
     kQueued,    ///< admitted, waiting in the RequestQueue
     kInflight,  ///< its colony runs on the BatchSolver
     kFollower,  ///< deduped onto an in-flight leader's solve
+    kHeld,      ///< a delta/stats frame mid-drain (blocks emission)
     kDone,      ///< outcome ready (response may not be emitted yet)
   };
 
@@ -158,11 +191,15 @@ class Server {
     bool warm = false;
     bool warm_attached = false;  ///< this entry holds its slot's busy flag
     std::uint64_t fingerprint = 0;
+    /// Attach "fingerprint" to the ok response (warm solves and delta
+    /// updates — the delta-addressable states).
+    bool report_fingerprint = false;
     State state = State::kDone;
     core::SolveOutcome outcome;
     bool deduped = false;
     core::BatchJobId job = 0;
     std::size_t leader = 0;  ///< leader entry index when kFollower
+    std::string canned;  ///< pre-rendered response (stats frames)
   };
 
   /// One completed cold solve retained for dedup (FIFO-evicted).
@@ -174,14 +211,29 @@ class Server {
   };
 
   /// Per-fingerprint warm pheromone slot; busy while one warm colony for
-  /// this fingerprint is in flight (its worker writes `tau` back).
+  /// this fingerprint is in flight (its worker writes `tau` back). The
+  /// graph/best/params snapshot (has_state) is what a later delta frame
+  /// seeds its IncrementalSolver session from.
   struct WarmSlot {
     std::uint64_t fingerprint = 0;
     core::PheromoneMatrix tau;
     bool busy = false;
+    bool has_state = false;      ///< snapshot below is populated
+    graph::Digraph graph;        ///< graph of the last completed warm solve
+    layering::Layering best;     ///< its best layering
+    core::AcoParams params;      ///< its params (inherited by sessions)
+  };
+
+  /// One live incremental chain, keyed by its CURRENT fingerprint (each
+  /// successful update re-keys it).
+  struct IncSession {
+    std::uint64_t fingerprint = 0;
+    std::unique_ptr<core::IncrementalSolver> solver;
   };
 
   void reject(Entry& entry, core::AdmissionError error, std::string message);
+  /// Applies a parsed delta frame (caller has drained; runs inline).
+  void handle_delta(Entry& entry, ParsedRequest& parsed);
   bool harvest();
   bool dispatch();
   bool emit();
@@ -201,6 +253,7 @@ class Server {
   /// holds a pointer to its slot's matrix, which must survive new
   /// fingerprints appending slots.
   std::deque<WarmSlot> warm_;
+  std::deque<IncSession> sessions_;  ///< live delta chains, FIFO-capped
   std::size_t next_emit_ = 0;          ///< first entry without a response
   std::vector<std::string> responses_;
   std::size_t max_inflight_ = 1;

@@ -81,16 +81,16 @@ TEST(BatchSolver, SubmitPollWaitLifecycle) {
   core::BatchSolver solver;
 
   std::vector<core::BatchJobId> ids;
-  for (const auto& g : graphs) ids.push_back(solver.submit(g, small_params()));
+  for (const auto& g : graphs) ids.push_back(test::submit_request(solver, g, small_params()));
   EXPECT_EQ(solver.num_jobs(), graphs.size());
 
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto& result = solver.wait(ids[i]);
+    const auto& result = test::wait_result(solver, ids[i]);
     EXPECT_TRUE(solver.done(ids[i]));
-    // poll after completion returns the same stored result.
-    const auto* polled = solver.poll(ids[i]);
+    // poll after completion returns the same stored outcome.
+    const auto* polled = solver.poll_outcome(ids[i]);
     ASSERT_NE(polled, nullptr);
-    EXPECT_EQ(polled, &result);
+    EXPECT_EQ(&polled->result, &result);
     EXPECT_TRUE(layering::is_valid_layering(graphs[i], result.layering));
   }
 }
@@ -99,7 +99,7 @@ TEST(BatchSolver, WaitAllFinishesEveryJob) {
   const auto graphs = test::random_battery(6);
   core::BatchSolver solver;
   std::vector<core::BatchJobId> ids;
-  for (const auto& g : graphs) ids.push_back(solver.submit(g, small_params()));
+  for (const auto& g : graphs) ids.push_back(test::submit_request(solver, g, small_params()));
   solver.wait_all();
   for (const auto id : ids) EXPECT_TRUE(solver.done(id));
 }
@@ -126,16 +126,18 @@ TEST(BatchSolver, ResultsStableUnderSubmissionOrderPermutation) {
 
   std::vector<core::BatchJobId> forward_ids;
   for (std::size_t i = 0; i < graphs.size(); ++i) {
-    forward_ids.push_back(forward.submit(graphs[i], small_params(10 + i)));
+    forward_ids.push_back(
+        test::submit_request(forward, graphs[i], small_params(10 + i)));
   }
   std::vector<core::BatchJobId> backward_ids(graphs.size());
   for (std::size_t i = graphs.size(); i-- > 0;) {
-    backward_ids[i] = backward.submit(graphs[i], small_params(10 + i));
+    backward_ids[i] =
+        test::submit_request(backward, graphs[i], small_params(10 + i));
   }
 
   for (std::size_t i = 0; i < graphs.size(); ++i) {
-    expect_same_result(forward.wait(forward_ids[i]),
-                       backward.wait(backward_ids[i]));
+    expect_same_result(test::wait_result(forward, forward_ids[i]),
+                       test::wait_result(backward, backward_ids[i]));
   }
 }
 
@@ -148,18 +150,21 @@ TEST(BatchSolver, WorkspaceReuseHasNoCrossGraphLeakage) {
   const auto params = small_params(5);
 
   core::BatchSolver cold;
-  const auto reference = cold.wait(cold.submit(probe, params));
+  const auto reference =
+      test::wait_result(cold, test::submit_request(cold, probe, params));
 
   core::BatchSolver warm;
-  const auto first = warm.submit(probe, params);
+  const auto first = test::submit_request(warm, probe, params);
   std::vector<core::BatchJobId> dirty;
   for (std::size_t i = 1; i < graphs.size(); ++i) {
-    dirty.push_back(warm.submit(graphs[i], params));
+    dirty.push_back(test::submit_request(warm, graphs[i], params));
   }
-  const auto again = warm.submit(probe, params);
-  expect_same_result(warm.wait(first), reference);
-  expect_same_result(warm.wait(again), reference);
-  for (const auto id : dirty) warm.wait(id);  // all must still finish
+  const auto again = test::submit_request(warm, probe, params);
+  expect_same_result(test::wait_result(warm, first), reference);
+  expect_same_result(test::wait_result(warm, again), reference);
+  for (const auto id : dirty) {
+    test::wait_result(warm, id);  // all must still finish
+  }
 }
 
 TEST(BatchSolver, CollectMovesTheResultAndReleasesTheJob) {
@@ -169,25 +174,32 @@ TEST(BatchSolver, CollectMovesTheResultAndReleasesTheJob) {
   core::BatchSolver solver;
 
   std::vector<core::BatchJobId> ids;
-  for (const auto& g : graphs) ids.push_back(solver.submit(g, params));
+  for (const auto& g : graphs) {
+    ids.push_back(test::submit_request(solver, g, params));
+  }
 
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto collected = solver.collect(ids[i]);
-    const auto& reference =
-        reference_solver.wait(reference_solver.submit(graphs[i], params));
-    expect_same_result(collected, reference);
+    const auto collected = solver.collect_outcome(ids[i]);
+    ASSERT_TRUE(collected.ok());
+    const auto& reference = test::wait_result(
+        reference_solver, test::submit_request(reference_solver, graphs[i], params));
+    expect_same_result(collected.result, reference);
     // The job stays done but its stored state is gone: wait/poll/collect
     // on a collected job are contract violations, not silent empties.
     EXPECT_TRUE(solver.done(ids[i]));
-    EXPECT_THROW(solver.poll(ids[i]), support::CheckError);
-    EXPECT_THROW(solver.wait(ids[i]), support::CheckError);
-    EXPECT_THROW(solver.collect(ids[i]), support::CheckError);
+    EXPECT_THROW(solver.poll_outcome(ids[i]), support::CheckError);
+    EXPECT_THROW(solver.wait_outcome(ids[i]), support::CheckError);
+    EXPECT_THROW(solver.collect_outcome(ids[i]), support::CheckError);
   }
   // Collecting early jobs must not disturb later ones.
-  const auto late = solver.submit(graphs.front(), params);
-  expect_same_result(solver.collect(late),
-                     reference_solver.wait(reference_solver.submit(
-                         graphs.front(), params)));
+  const auto late = test::submit_request(solver, graphs.front(), params);
+  const auto late_collected = solver.collect_outcome(late);
+  ASSERT_TRUE(late_collected.ok());
+  expect_same_result(
+      late_collected.result,
+      test::wait_result(reference_solver, test::submit_request(
+                                              reference_solver,
+                                              graphs.front(), params)));
 }
 
 TEST(BatchSolver, RejectsCyclicGraphsAtAdmission) {
@@ -196,34 +208,43 @@ TEST(BatchSolver, RejectsCyclicGraphsAtAdmission) {
   cyclic.add_edge(1, 2);
   cyclic.add_edge(2, 0);
   core::BatchSolver solver;
-  EXPECT_THROW(solver.submit(cyclic, small_params()), support::CheckError);
-  EXPECT_EQ(solver.num_jobs(), 0u);
+  // Structured path: the rejection is a born-finished outcome, not a
+  // throw (the deprecated shim's throwing behaviour is pinned in
+  // tests/core_request_test.cpp).
+  const auto id = test::submit_request(solver, cyclic, small_params());
+  EXPECT_TRUE(solver.done(id));
+  EXPECT_EQ(solver.wait_outcome(id).error, core::AdmissionError::kCycle);
 }
 
 TEST(BatchSolver, RejectsInvalidParamsAtAdmission) {
   const auto g = test::diamond();
   core::BatchSolver solver;
+  const auto expect_bad_param = [&](const core::AcoParams& params) {
+    const auto id = test::submit_request(solver, g, params);
+    EXPECT_TRUE(solver.done(id));  // born finished, colony never ran
+    EXPECT_EQ(solver.wait_outcome(id).error,
+              core::AdmissionError::kBadParam);
+  };
   auto params = small_params();
   params.num_ants = 0;
-  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  expect_bad_param(params);
   params = small_params();
   params.rho = 1.5;
-  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  expect_bad_param(params);
   // Mid-search contract ranges fail at admission too, not asynchronously.
   params = small_params();
   params.tau0 = 0.0;
-  EXPECT_THROW(solver.submit(g, params), support::CheckError);
+  expect_bad_param(params);
   params = small_params();
   params.deposit = -1.0;
-  EXPECT_THROW(solver.submit(g, params), support::CheckError);
-  EXPECT_EQ(solver.num_jobs(), 0u);
+  expect_bad_param(params);
 }
 
 TEST(BatchSolver, UnknownJobIdThrows) {
   core::BatchSolver solver;
   EXPECT_THROW(solver.done(0), support::CheckError);
-  EXPECT_THROW(solver.poll(3), support::CheckError);
-  EXPECT_THROW(solver.wait(1), support::CheckError);
+  EXPECT_THROW(solver.poll_outcome(3), support::CheckError);
+  EXPECT_THROW(solver.wait_outcome(1), support::CheckError);
 }
 
 TEST(BatchSolver, EmptyBatchAndEmptyGraph) {
@@ -233,7 +254,8 @@ TEST(BatchSolver, EmptyBatchAndEmptyGraph) {
   EXPECT_TRUE(none.empty());
 
   const graph::Digraph empty;
-  const auto& result = solver.wait(solver.submit(empty, small_params()));
+  const auto& result =
+      test::wait_result(solver, test::submit_request(solver, empty, small_params()));
   EXPECT_EQ(result.layering.num_vertices(), 0u);
 }
 
@@ -243,7 +265,7 @@ TEST(BatchSolver, DestructorDrainsOutstandingJobs) {
   const auto graphs = test::random_battery(6);
   {
     core::BatchSolver solver(core::BatchOptions{2, false});
-    for (const auto& g : graphs) solver.submit(g, small_params());
+    for (const auto& g : graphs) test::submit_request(solver, g, small_params());
     // No wait: the destructor owns the drain.
   }
   SUCCEED();

@@ -20,6 +20,7 @@
 #include "harness/experiment.hpp"
 #include "harness/figures.hpp"
 #include "support/alloc_guard.hpp"
+#include "test_util.hpp"
 
 namespace acolay {
 namespace {
@@ -232,10 +233,10 @@ TEST(Determinism, BatchSolverIsBitIdenticalToSequentialAcrossThreadCounts) {
     for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
       core::AcoParams p = params;
       p.seed = 20070325 + gi;
-      ids.push_back(solver.submit(corpus.graphs[gi], p));
+      ids.push_back(test::submit_request(solver, corpus.graphs[gi], p));
     }
     for (std::size_t gi = 0; gi < ids.size(); ++gi) {
-      const auto& result = solver.wait(ids[gi]);
+      const auto& result = test::wait_result(solver, ids[gi]);
       ASSERT_EQ(result.layering, reference[gi].layering)
           << "graph " << gi << ", threads " << threads;
       EXPECT_EQ(result.metrics.objective, reference[gi].metrics.objective);
@@ -270,19 +271,21 @@ TEST(Determinism, BatchSolverIsStableUnderSubmissionPermutation) {
   core::BatchSolver forward(core::BatchOptions{4, false});
   std::vector<core::BatchJobId> forward_ids(corpus.graphs.size());
   for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
-    forward_ids[gi] = forward.submit(corpus.graphs[gi], job_params(gi));
+    forward_ids[gi] =
+        test::submit_request(forward, corpus.graphs[gi], job_params(gi));
   }
 
   // Reverse order: the largest graphs now warm the workspaces first.
   core::BatchSolver backward(core::BatchOptions{4, false});
   std::vector<core::BatchJobId> backward_ids(corpus.graphs.size());
   for (std::size_t gi = corpus.graphs.size(); gi-- > 0;) {
-    backward_ids[gi] = backward.submit(corpus.graphs[gi], job_params(gi));
+    backward_ids[gi] =
+        test::submit_request(backward, corpus.graphs[gi], job_params(gi));
   }
 
   for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
-    const auto& a = forward.wait(forward_ids[gi]);
-    const auto& b = backward.wait(backward_ids[gi]);
+    const auto& a = test::wait_result(forward, forward_ids[gi]);
+    const auto& b = test::wait_result(backward, backward_ids[gi]);
     ASSERT_EQ(a.layering, b.layering) << "graph " << gi;
     EXPECT_EQ(a.metrics.objective, b.metrics.objective);
     EXPECT_EQ(a.metrics.dummy_count, b.metrics.dummy_count);
@@ -303,19 +306,21 @@ TEST(Determinism, BatchWorkerWorkspacesCarryNoCrossGraphState) {
   core::BatchSolver warm(core::BatchOptions{2, false});
   std::vector<core::BatchJobId> first_ids;
   for (const auto& g : corpus.graphs) {
-    first_ids.push_back(warm.submit(g, params));
+    first_ids.push_back(test::submit_request(warm, g, params));
   }
   warm.wait_all();
 
   for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
-    const auto rerun_id = warm.submit(corpus.graphs[gi], params);
-    const auto& first = warm.wait(first_ids[gi]);
-    const auto& rerun = warm.wait(rerun_id);
+    const auto rerun_id =
+        test::submit_request(warm, corpus.graphs[gi], params);
+    const auto& first = test::wait_result(warm, first_ids[gi]);
+    const auto& rerun = test::wait_result(warm, rerun_id);
     ASSERT_EQ(first.layering, rerun.layering) << "graph " << gi;
     EXPECT_EQ(first.metrics.objective, rerun.metrics.objective);
 
     core::BatchSolver cold(core::BatchOptions{1, false});
-    const auto& fresh = cold.wait(cold.submit(corpus.graphs[gi], params));
+    const auto& fresh = test::wait_result(
+        cold, test::submit_request(cold, corpus.graphs[gi], params));
     ASSERT_EQ(first.layering, fresh.layering) << "graph " << gi;
     EXPECT_EQ(first.metrics.objective, fresh.metrics.objective);
   }

@@ -1,0 +1,269 @@
+// graph::GraphDelta / apply_delta semantics and the CsrView::refreeze
+// contract: every refreeze path (widths-only patch, copy-with-patch,
+// full rebuild) must end bit-identical to a from-scratch rebuild of the
+// post-delta graph, and the cached fingerprint fold must compose across
+// deltas — fingerprint() after refreeze equals a cold CsrView of the
+// same graph for every delta kind. Regression values pin the composed
+// fingerprints so the folding scheme cannot silently change (serving
+// sessions key warm state by these values).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/edit_script.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/delta.hpp"
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace acolay::graph {
+namespace {
+
+/// Bit-exact CSR equality over the full public surface — adjacency order
+/// included, because the colony's walk order depends on it.
+void expect_csr_identical(const CsrView& a, const CsrView& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t v = 0; v < a.num_vertices(); ++v) {
+    const auto id = static_cast<VertexId>(v);
+    const auto succ_a = a.successors(id);
+    const auto succ_b = b.successors(id);
+    ASSERT_EQ(std::vector<VertexId>(succ_a.begin(), succ_a.end()),
+              std::vector<VertexId>(succ_b.begin(), succ_b.end()))
+        << "successors of " << v;
+    const auto pred_a = a.predecessors(id);
+    const auto pred_b = b.predecessors(id);
+    ASSERT_EQ(std::vector<VertexId>(pred_a.begin(), pred_a.end()),
+              std::vector<VertexId>(pred_b.begin(), pred_b.end()))
+        << "predecessors of " << v;
+    EXPECT_EQ(a.width(id), b.width(id)) << "width of " << v;
+  }
+  const auto edges_a = a.edges();
+  const auto edges_b = b.edges();
+  ASSERT_EQ(std::vector<Edge>(edges_a.begin(), edges_a.end()),
+            std::vector<Edge>(edges_b.begin(), edges_b.end()));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+/// Applies `delta` to a copy of `g`, refreezes a view that snapshots `g`,
+/// and checks the three-way contract: refreeze takes `expected` path, its
+/// state equals a cold rebuild, and the composed fingerprint matches.
+void expect_refreeze_matches_rebuild(const Digraph& g, const GraphDelta& delta,
+                                     RefreezeKind expected) {
+  Digraph mutated = g;
+  ASSERT_EQ(apply_delta(mutated, delta), "");
+  CsrView incremental(g);
+  EXPECT_EQ(incremental.refreeze(mutated, delta), expected);
+  expect_csr_identical(incremental, CsrView(mutated));
+}
+
+// ---- apply_delta semantics ----------------------------------------------
+
+TEST(ApplyDelta, EmptyDeltaIsIdentity) {
+  Digraph g = test::small_dag();
+  const Digraph before = g;
+  DeltaRemap remap;
+  EXPECT_EQ(apply_delta(g, GraphDelta{}, &remap), "");
+  EXPECT_EQ(g, before);
+  EXPECT_TRUE(remap.is_identity());
+}
+
+TEST(ApplyDelta, EdgeOnlyDeltaPreservesUntouchedAdjacencyOrder) {
+  Digraph g = test::small_dag();
+  GraphDelta delta;
+  delta.remove_edges.push_back(Edge{5, 4});
+  delta.add_edges.push_back(Edge{5, 2});
+  DeltaRemap remap;
+  ASSERT_EQ(apply_delta(g, delta, &remap), "");
+  EXPECT_TRUE(remap.is_identity());
+  EXPECT_FALSE(g.has_edge(5, 4));
+  EXPECT_TRUE(g.has_edge(5, 2));
+  // Untouched vertices keep their adjacency exactly (the contract the
+  // patched refreeze path rides on).
+  const auto succ6 = g.successors(6);
+  EXPECT_EQ(std::vector<VertexId>(succ6.begin(), succ6.end()),
+            (std::vector<VertexId>{4, 1}));
+}
+
+TEST(ApplyDelta, VertexRemovalCompactsIdsAndDropsIncidentEdges) {
+  Digraph g = test::small_dag();
+  GraphDelta delta;
+  delta.remove_vertices.push_back(4);
+  DeltaRemap remap;
+  ASSERT_EQ(apply_delta(g, delta, &remap), "");
+  ASSERT_EQ(g.num_vertices(), 6u);
+  // Survivors keep relative order: 0..3 map to themselves, 5/6 shift down.
+  EXPECT_EQ(remap.map(3), 3);
+  EXPECT_EQ(remap.map(4), DeltaRemap::kRemoved);
+  EXPECT_EQ(remap.map(5), 4);
+  EXPECT_EQ(remap.map(6), 5);
+  // 5->4, 6->4, 4->2 went with the vertex; 5->3 survives as 4->3.
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(g.has_edge(4, 3));
+  EXPECT_TRUE(g.has_edge(5, 1));
+}
+
+TEST(ApplyDelta, PhasesComposeInDocumentedOrder) {
+  // remove edge (old ids) -> remove vertex 1 (old ids) -> append vertex
+  // -> add edge (new ids) -> set width (new ids), all in one delta.
+  Digraph g = test::diamond();  // 3 -> {1, 2} -> 0
+  GraphDelta delta;
+  delta.remove_edges.push_back(Edge{3, 1});
+  delta.remove_vertices.push_back(1);     // old id; 2 -> 1, 3 -> 2
+  delta.add_vertex_widths.push_back(2.5); // appended as new id 3
+  delta.add_edges.push_back(Edge{3, 2});  // new vertex above old source
+  delta.set_widths.push_back(WidthChange{0, 4.0});
+  DeltaRemap remap;
+  ASSERT_EQ(apply_delta(g, delta, &remap), "");
+  ASSERT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(remap.map(2), 1);
+  EXPECT_EQ(remap.map(3), 2);
+  EXPECT_TRUE(g.has_edge(2, 1));  // the old 3 -> 2
+  EXPECT_TRUE(g.has_edge(1, 0));  // the old 2 -> 0
+  EXPECT_TRUE(g.has_edge(3, 2));  // the added edge, new id space
+  EXPECT_EQ(g.width(3), 2.5);
+  EXPECT_EQ(g.width(0), 4.0);
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(ApplyDelta, RejectsInvalidOperationsWithDiagnostics) {
+  GraphDelta missing_edge;
+  missing_edge.remove_edges.push_back(Edge{0, 3});
+  Digraph g = test::diamond();
+  EXPECT_NE(apply_delta(g, missing_edge), "");
+
+  GraphDelta duplicate_edge;
+  duplicate_edge.add_edges.push_back(Edge{3, 1});
+  g = test::diamond();
+  EXPECT_NE(apply_delta(g, duplicate_edge), "");
+
+  GraphDelta bad_vertex;
+  bad_vertex.remove_vertices.push_back(9);
+  g = test::diamond();
+  EXPECT_NE(apply_delta(g, bad_vertex), "");
+
+  GraphDelta bad_width;
+  bad_width.set_widths.push_back(WidthChange{0, -1.0});
+  g = test::diamond();
+  EXPECT_NE(apply_delta(g, bad_width), "");
+}
+
+// ---- refreeze: each path ends bit-identical to rebuild ------------------
+
+TEST(CsrRefreeze, WidthsOnlyDeltaPatchesInPlace) {
+  GraphDelta delta;
+  delta.set_widths.push_back(WidthChange{2, 3.5});
+  delta.set_widths.push_back(WidthChange{0, 0.5});
+  expect_refreeze_matches_rebuild(test::small_dag(), delta,
+                                  RefreezeKind::kWidthsOnly);
+}
+
+TEST(CsrRefreeze, SmallEdgeChurnTakesThePatchedPath) {
+  GraphDelta delta;  // 2 of 8 edges churned, at the default 0.25 threshold
+  delta.remove_edges.push_back(Edge{6, 1});
+  delta.add_edges.push_back(Edge{6, 2});
+  expect_refreeze_matches_rebuild(test::small_dag(), delta,
+                                  RefreezeKind::kPatched);
+}
+
+TEST(CsrRefreeze, HighChurnFallsBackToFullRebuild) {
+  GraphDelta delta;  // 3 of 8 edges churned: above the 0.25 threshold
+  delta.remove_edges.push_back(Edge{6, 1});
+  delta.remove_edges.push_back(Edge{5, 4});
+  delta.add_edges.push_back(Edge{5, 1});
+  expect_refreeze_matches_rebuild(test::small_dag(), delta,
+                                  RefreezeKind::kFull);
+}
+
+TEST(CsrRefreeze, VertexSetChangeForcesFullRebuild) {
+  GraphDelta grow;
+  grow.add_vertex_widths.push_back(1.5);
+  grow.add_edges.push_back(Edge{7, 0});
+  expect_refreeze_matches_rebuild(test::small_dag(), grow,
+                                  RefreezeKind::kFull);
+
+  GraphDelta shrink;
+  shrink.remove_vertices.push_back(2);
+  expect_refreeze_matches_rebuild(test::small_dag(), shrink,
+                                  RefreezeKind::kFull);
+}
+
+TEST(CsrRefreeze, RandomEditScriptsStayIdenticalToRebuild) {
+  // The property at scale: every delta of every script, whatever path it
+  // routes to, leaves the view equal to a cold freeze.
+  support::Rng rng(20260808);
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    gen::GnmParams shape;
+    shape.num_vertices = 20;
+    shape.num_edges = 40;
+    support::Rng base_rng(seed);
+    Digraph g = gen::random_dag(shape, base_rng);
+    gen::EditScriptParams params;
+    params.num_deltas = 12;
+    const auto script = gen::random_edit_script(g, params, rng);
+    CsrView view(g);
+    for (const GraphDelta& delta : script) {
+      ASSERT_EQ(apply_delta(g, delta), "");
+      view.refreeze(g, delta);
+      expect_csr_identical(view, CsrView(g));
+    }
+  }
+}
+
+// ---- fingerprint composition under deltas -------------------------------
+
+TEST(CsrFingerprint, ComposesAcrossEveryDeltaKind) {
+  // One delta per kind, applied in sequence to the same evolving view:
+  // the delta-composed fingerprint must equal a cold CsrView's at every
+  // step (expect_refreeze_matches_rebuild asserts it per step above; this
+  // pins the *chained* composition).
+  Digraph g = test::small_dag();
+  CsrView view(g);
+  std::vector<GraphDelta> chain(5);
+  chain[0].set_widths.push_back(WidthChange{1, 2.0});
+  chain[1].add_edges.push_back(Edge{5, 1});
+  chain[2].remove_edges.push_back(Edge{6, 4});
+  chain[3].add_vertex_widths.push_back(1.0);
+  chain[3].add_edges.push_back(Edge{7, 6});
+  chain[4].remove_vertices.push_back(0);
+  for (const GraphDelta& delta : chain) {
+    ASSERT_EQ(apply_delta(g, delta), "");
+    view.refreeze(g, delta);
+    EXPECT_EQ(view.fingerprint(), CsrView(g).fingerprint());
+  }
+}
+
+TEST(CsrFingerprint, PinnedRegressionValues) {
+  // Serving sessions and dedup caches key state by these exact values:
+  // a change here invalidates every persisted key, so it must be loud.
+  Digraph g = test::small_dag();
+  CsrView view(g);
+  EXPECT_EQ(view.fingerprint(), 0x8960f414846e257au);
+
+  GraphDelta widen;
+  widen.set_widths.push_back(WidthChange{2, 3.0});
+  ASSERT_EQ(apply_delta(g, widen), "");
+  view.refreeze(g, widen);
+  EXPECT_EQ(view.fingerprint(), 0x01cb87ab6b760cbcu);
+
+  GraphDelta rewire;
+  rewire.remove_edges.push_back(Edge{6, 1});
+  rewire.add_edges.push_back(Edge{6, 2});
+  ASSERT_EQ(apply_delta(g, rewire), "");
+  view.refreeze(g, rewire);
+  EXPECT_EQ(view.fingerprint(), 0x4a977d9272a32f76u);
+
+  GraphDelta resize;
+  resize.remove_vertices.push_back(0);
+  resize.add_vertex_widths.push_back(0.5);
+  ASSERT_EQ(apply_delta(g, resize), "");
+  view.refreeze(g, resize);
+  EXPECT_EQ(view.fingerprint(), 0x8a9c29ff9d007a4du);
+}
+
+}  // namespace
+}  // namespace acolay::graph

@@ -134,7 +134,8 @@ TEST_P(OracleCrosscheckTest, BatchSolverMatchesSequentialAndRespectsOracle) {
   const auto& g = graph();
   const auto params = oracle_aco_params(GetParam());
   core::BatchSolver solver;
-  const auto& batch = solver.wait(solver.submit(g, params));
+  const auto& batch =
+      test::wait_result(solver, test::submit_request(solver, g, params));
   const auto sequential = core::AntColony(g, params).run();
 
   EXPECT_EQ(batch.layering, sequential.layering);

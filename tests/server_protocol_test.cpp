@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/request.hpp"
 #include "io/json_reader.hpp"
@@ -179,6 +181,121 @@ TEST(ServerProtocol, ResponsesAreValidJsonWithTheSchemaTag) {
   EXPECT_EQ(rej_doc->find("message")->as_string(), "queue \"full\"");
 }
 
+TEST(ServerProtocol, ParsesADeltaFrame) {
+  ParsedRequest request;
+  std::string message;
+  const std::string line =
+      R"({"id": "d1", "delta": {"base": "00000000deadbeef",)"
+      R"( "remove_edges": [[3, 1]], "remove_vertices": [2],)"
+      R"( "add_vertices": [1.5, 2.0], "add_edges": [[4, 0]],)"
+      R"( "set_widths": [[0, 3.5]]}})";
+  ASSERT_EQ(parse(line, request, message), AdmissionError::kNone) << message;
+  EXPECT_EQ(request.kind, RequestKind::kDelta);
+  EXPECT_EQ(request.id, "d1");
+  EXPECT_EQ(request.base_fingerprint, 0x00000000deadbeefu);
+  ASSERT_EQ(request.delta.remove_edges.size(), 1u);
+  EXPECT_EQ(request.delta.remove_edges[0], (graph::Edge{3, 1}));
+  EXPECT_EQ(request.delta.remove_vertices,
+            std::vector<graph::VertexId>{2});
+  EXPECT_EQ(request.delta.add_vertex_widths,
+            (std::vector<double>{1.5, 2.0}));
+  ASSERT_EQ(request.delta.add_edges.size(), 1u);
+  EXPECT_EQ(request.delta.add_edges[0], (graph::Edge{4, 0}));
+  ASSERT_EQ(request.delta.set_widths.size(), 1u);
+  EXPECT_EQ(request.delta.set_widths[0],
+            (graph::WidthChange{0, 3.5}));
+}
+
+TEST(ServerProtocol, ParsesAStatsFrame) {
+  ParsedRequest request;
+  std::string message;
+  ASSERT_EQ(parse(R"({"id": "s1", "stats": true})", request, message),
+            AdmissionError::kNone)
+      << message;
+  EXPECT_EQ(request.kind, RequestKind::kStats);
+  EXPECT_EQ(request.id, "s1");
+}
+
+TEST(ServerProtocol, SolveFramesParseAsSolveKind) {
+  ParsedRequest request;
+  std::string message;
+  ASSERT_EQ(parse(kDiamondFrame, request, message), AdmissionError::kNone);
+  EXPECT_EQ(request.kind, RequestKind::kSolve);
+}
+
+TEST(ServerProtocol, RejectsDeltaAndStatsShapeViolations) {
+  ParsedRequest request;
+  std::string message;
+  const char* bad_frames[] = {
+      // delta frames carry exactly "id" and "delta".
+      R"({"id": "x", "delta": {"base": "00000000deadbeef"},)"
+      R"( "graph": {"num_vertices": 1}})",
+      R"({"id": "x", "delta": {"base": "00000000deadbeef"},)"
+      R"( "params": {"seed": 1}})",
+      R"({"id": "x", "delta": {"base": "00000000deadbeef"}, "warm": true})",
+      R"({"id": "x", "delta": 5})",
+      R"({"id": "x", "delta": {}})",  // base is required
+      R"({"id": "x", "delta": {"base": "xyz"}})",
+      R"({"id": "x", "delta": {"base": "00000000DEADBEEF"}})",  // uppercase
+      R"({"id": "x", "delta": {"base": "00000000deadbee"}})",   // 15 digits
+      R"({"id": "x", "delta": {"base": "00000000deadbeef",)"
+      R"( "bogus": []}})",
+      R"({"id": "x", "delta": {"base": "00000000deadbeef",)"
+      R"( "add_edges": [[0]]}})",
+      R"({"id": "x", "delta": {"base": "00000000deadbeef",)"
+      R"( "remove_vertices": [-1]}})",
+      R"({"id": "x", "delta": {"base": "00000000deadbeef",)"
+      R"( "add_vertices": [-0.5]}})",
+      R"({"id": "x", "delta": {"base": "00000000deadbeef",)"
+      R"( "set_widths": [[0]]}})",
+      // stats frames carry exactly "id" and "stats": true.
+      R"({"id": "x", "stats": false})",
+      R"({"id": "x", "stats": 1})",
+      R"({"id": "x", "stats": true, "graph": {"num_vertices": 1}})",
+      R"({"id": "x", "stats": true,)"
+      R"( "delta": {"base": "00000000deadbeef"}})",
+  };
+  for (const char* line : bad_frames) {
+    EXPECT_EQ(parse(line, request, message), AdmissionError::kBadRequest)
+        << line;
+    EXPECT_FALSE(message.empty()) << line;
+  }
+}
+
+TEST(ServerProtocol, FingerprintHexRoundTrips) {
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{0xdeadbeefu},
+        std::uint64_t{0xfedcba9876543210u}, ~std::uint64_t{0}}) {
+    const std::string hex = fingerprint_hex(value);
+    EXPECT_EQ(hex.size(), 16u);
+    const auto parsed = parse_fingerprint_hex(hex);
+    ASSERT_TRUE(parsed.has_value()) << hex;
+    EXPECT_EQ(*parsed, value);
+  }
+  EXPECT_EQ(fingerprint_hex(0xdeadbeefu), "00000000deadbeef");
+  EXPECT_FALSE(parse_fingerprint_hex("").has_value());
+  EXPECT_FALSE(parse_fingerprint_hex("00000000deadbee").has_value());
+  EXPECT_FALSE(parse_fingerprint_hex("00000000deadbeef0").has_value());
+  EXPECT_FALSE(parse_fingerprint_hex("00000000DEADBEEF").has_value());
+  EXPECT_FALSE(parse_fingerprint_hex("0000000gdeadbeef").has_value());
+}
+
+TEST(ServerProtocol, ResultResponseCarriesTheOptionalFingerprint) {
+  core::AcoResult result;
+  result.layering = layering::Layering(2);
+  const std::string with = render_result_response(
+      "r1", result, false, -1, std::uint64_t{0xdeadbeefu});
+  const auto with_doc = io::parse_json(with);
+  ASSERT_TRUE(with_doc.has_value());
+  EXPECT_EQ(with_doc->find("fingerprint")->as_string(), "00000000deadbeef");
+
+  const std::string without =
+      render_result_response("r1", result, false, -1);
+  const auto without_doc = io::parse_json(without);
+  ASSERT_TRUE(without_doc.has_value());
+  EXPECT_EQ(without_doc->find("fingerprint"), nullptr);
+}
+
 TEST(ServerProtocolFuzz, MutatedFramesNeverThrow) {
   support::Rng rng(0xd1ceULL);
   const std::string base = kDiamondFrame;
@@ -198,6 +315,20 @@ TEST(ServerProtocolFuzz, MutatedFramesNeverThrow) {
   for (std::size_t len = 0; len < base.size(); ++len) {
     EXPECT_NE(parse(base.substr(0, len), request, message),
               AdmissionError::kNone);
+  }
+
+  // The delta/stats shapes get the same treatment: classify, never throw.
+  const std::string delta_base =
+      R"({"id": "d", "delta": {"base": "00000000deadbeef",)"
+      R"( "add_edges": [[1, 0]], "set_widths": [[0, 2.0]]}})";
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = delta_base;
+    const int flips = static_cast<int>(rng.uniform_int(1, 3));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.index(mutated.size())] =
+          static_cast<char>(rng.uniform_int(0, 255));
+    }
+    (void)parse(mutated, request, message);
   }
 }
 

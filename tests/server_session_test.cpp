@@ -14,10 +14,16 @@
 #include <vector>
 
 #include "core/batch.hpp"
+#include "core/incremental.hpp"
 #include "core/params.hpp"
+#include "core/pheromone.hpp"
+#include "core/request.hpp"
+#include "graph/csr.hpp"
+#include "graph/delta.hpp"
 #include "graph/digraph.hpp"
 #include "io/json.hpp"
 #include "io/json_reader.hpp"
+#include "server/protocol.hpp"
 #include "test_util.hpp"
 
 namespace acolay::server {
@@ -349,6 +355,244 @@ TEST(ServerSession, ServeStreamMatchesDirectPushLines) {
   Server server(with_threads(2));
   serve_stream(in, out, server);
   EXPECT_EQ(out.str(), want);
+}
+
+/// Renders a wire delta frame (exactly "id" and "delta", per the
+/// protocol's exclusivity rule).
+std::string delta_frame(const std::string& id, const std::string& base_hex,
+                        const graph::GraphDelta& d) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.key("delta").begin_object();
+  w.kv("base", base_hex);
+  if (!d.remove_edges.empty()) {
+    w.key("remove_edges").begin_array();
+    for (const auto& e : d.remove_edges) {
+      w.begin_array().value(e.source).value(e.target).end_array();
+    }
+    w.end_array();
+  }
+  if (!d.remove_vertices.empty()) {
+    w.key("remove_vertices").begin_array();
+    for (const auto v : d.remove_vertices) w.value(v);
+    w.end_array();
+  }
+  if (!d.add_vertex_widths.empty()) {
+    w.key("add_vertices").begin_array();
+    for (const double width : d.add_vertex_widths) w.value(width);
+    w.end_array();
+  }
+  if (!d.add_edges.empty()) {
+    w.key("add_edges").begin_array();
+    for (const auto& e : d.add_edges) {
+      w.begin_array().value(e.source).value(e.target).end_array();
+    }
+    w.end_array();
+  }
+  if (!d.set_widths.empty()) {
+    w.key("set_widths").begin_array();
+    for (const auto& change : d.set_widths) {
+      w.begin_array().value(change.vertex).value(change.width).end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+TEST(ServerSession, DeltaFrameContinuesAWarmSolveBitExactly) {
+  const graph::Digraph g = wire_normalized(test::small_dag());
+  Server server(with_threads(1));
+  server.push_line(frame("w1", g, 3, 21, FrameOpts{.warm = true}));
+  server.drain();
+
+  auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue warm_doc = parse_response(responses[0]);
+  ASSERT_EQ(warm_doc.find("status")->as_string(), "ok");
+  // Warm solves report the graph fingerprint delta sessions key on.
+  ASSERT_NE(warm_doc.find("fingerprint"), nullptr);
+  const std::string fp0 = warm_doc.find("fingerprint")->as_string();
+  EXPECT_EQ(fp0, fingerprint_hex(graph::CsrView(g).fingerprint()));
+
+  graph::GraphDelta delta;
+  delta.add_edges.push_back(graph::Edge{5, 2});
+  delta.set_widths.push_back(graph::WidthChange{0, 2.5});
+  server.push_line(delta_frame("d1", fp0, delta));
+  server.drain();
+
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  ASSERT_EQ(doc.find("status")->as_string(), "ok") << responses[0];
+  EXPECT_EQ(doc.find("id")->as_string(), "d1");
+  EXPECT_EQ(server.stats().incremental_sessions, 1u);
+  EXPECT_EQ(server.stats().delta_updates, 1u);
+
+  // The served update is bit-identical to driving an IncrementalSolver by
+  // hand from the same warm state the server harvested: the warm solve's
+  // written-back tau and best layering.
+  core::AcoParams params;
+  params.num_tours = 3;
+  params.seed = 21;
+  params.record_trace = false;  // server-forced off the wire
+  core::PheromoneMatrix tau;
+  core::SolveRequest request;
+  request.graph = &g;
+  request.params = params;
+  request.warm_tau = &tau;
+  const core::SolveOutcome warm = core::solve(request);
+  ASSERT_TRUE(warm.ok());
+
+  core::IncrementalSolver reference(g, params);
+  reference.adopt(tau, warm.result.layering);
+  const core::SolveOutcome& updated = reference.update(delta);
+  ASSERT_TRUE(updated.ok());
+
+  EXPECT_EQ(doc.find("fingerprint")->as_string(),
+            fingerprint_hex(reference.fingerprint()));
+  const io::JsonValue* layers = doc.find("layering")->find("layers");
+  ASSERT_EQ(layers->size(), updated.result.layering.num_vertices());
+  for (std::size_t v = 0; v < layers->size(); ++v) {
+    EXPECT_EQ((*layers)[v].as_int64(),
+              updated.result.layering.layer(static_cast<graph::VertexId>(v)))
+        << "vertex " << v;
+  }
+  EXPECT_EQ(doc.find("metrics")->find("objective")->as_double(),
+            updated.result.metrics.objective);
+}
+
+TEST(ServerSession, DeltaChainsRekeyAndBranchesSeedFreshSessions) {
+  const graph::Digraph g = wire_normalized(test::small_dag());
+  Server server(with_threads(1));
+  server.push_line(frame("w1", g, 3, 5, FrameOpts{.warm = true}));
+  server.drain();
+  auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string fp0 =
+      parse_response(responses[0]).find("fingerprint")->as_string();
+
+  graph::GraphDelta first;
+  first.add_edges.push_back(graph::Edge{5, 2});
+  server.push_line(delta_frame("d1", fp0, first));
+  server.drain();
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string fp1 =
+      parse_response(responses[0]).find("fingerprint")->as_string();
+  EXPECT_NE(fp1, fp0);
+
+  // The chain re-keyed: fp1 continues the same session.
+  graph::GraphDelta second;
+  second.set_widths.push_back(graph::WidthChange{1, 3.0});
+  server.push_line(delta_frame("d2", fp1, second));
+  server.drain();
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(status_of(responses[0]), "ok");
+  EXPECT_EQ(server.stats().incremental_sessions, 1u);
+  EXPECT_EQ(server.stats().delta_updates, 2u);
+
+  // After re-keying, fp0 no longer names the session — but it still names
+  // the warm slot, so referencing it branches a fresh session.
+  server.push_line(delta_frame("d3", fp0, first));
+  server.drain();
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(status_of(responses[0]), "ok");
+  EXPECT_EQ(server.stats().incremental_sessions, 2u);
+  EXPECT_EQ(server.stats().delta_updates, 3u);
+}
+
+TEST(ServerSession, DeltaWithoutWarmStateIsUnknownFingerprint) {
+  Server server(with_threads(1));
+  // A solve *without* warm: true leaves no addressable state behind.
+  server.push_line(frame("cold", wire_normalized(test::small_dag()), 2, 1));
+  server.drain();
+  (void)server.take_responses();
+
+  graph::GraphDelta delta;
+  delta.set_widths.push_back(graph::WidthChange{0, 2.0});
+  server.push_line(delta_frame("d1", "0123456789abcdef", delta));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  EXPECT_EQ(doc.find("status")->as_string(), "rejected");
+  EXPECT_EQ(doc.find("error")->as_string(), "unknown_fingerprint");
+  EXPECT_NE(doc.find("message")->as_string().find("warm"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().rejected_invalid, 1u);
+  EXPECT_EQ(server.stats().incremental_sessions, 0u);
+}
+
+TEST(ServerSession, RejectedDeltaLeavesTheSessionUsable) {
+  const graph::Digraph g = wire_normalized(test::small_dag());
+  Server server(with_threads(1));
+  server.push_line(frame("w1", g, 3, 9, FrameOpts{.warm = true}));
+  server.drain();
+  auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string fp0 =
+      parse_response(responses[0]).find("fingerprint")->as_string();
+
+  graph::GraphDelta missing;  // structurally invalid against the graph
+  missing.remove_edges.push_back(graph::Edge{0, 6});
+  server.push_line(delta_frame("bad", fp0, missing));
+  graph::GraphDelta cycle;  // 0 -> 2 closes 2 -> 0
+  cycle.add_edges.push_back(graph::Edge{0, 2});
+  server.push_line(delta_frame("loop", fp0, cycle));
+  graph::GraphDelta valid;
+  valid.set_widths.push_back(graph::WidthChange{2, 4.0});
+  server.push_line(delta_frame("good", fp0, valid));
+  server.drain();
+
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 3u);
+  const io::JsonValue bad = parse_response(responses[0]);
+  EXPECT_EQ(bad.find("status")->as_string(), "rejected");
+  EXPECT_EQ(bad.find("error")->as_string(), "bad_request");
+  const io::JsonValue loop = parse_response(responses[1]);
+  EXPECT_EQ(loop.find("status")->as_string(), "rejected");
+  EXPECT_EQ(loop.find("error")->as_string(), "cycle");
+  EXPECT_EQ(status_of(responses[2]), "ok");
+  EXPECT_EQ(server.stats().delta_updates, 1u);
+}
+
+TEST(ServerSession, StatsFrameReportsTheSchemaTaggedCounters) {
+  const graph::Digraph g = wire_normalized(test::diamond());
+  Server server(with_threads(1));
+  server.push_line(frame("a", g, 2, 1));
+  server.push_line(frame("b", g, 2, 1));  // exact duplicate: dedups
+  server.push_line(R"({"id": "s1", "stats": true})");
+  server.drain();
+
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 3u);
+  // The stats frame is a sequencing point: it answers after the earlier
+  // frames, in arrival order.
+  EXPECT_EQ(status_of(responses[0]), "ok");
+  EXPECT_EQ(status_of(responses[1]), "ok");
+  const io::JsonValue doc = parse_response(responses[2]);
+  EXPECT_EQ(doc.find("id")->as_string(), "s1");
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  const io::JsonValue* stats = doc.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("schema")->as_string(), kServeStatsSchema);
+  EXPECT_EQ(stats->find("received")->as_int64(), 3);
+  EXPECT_EQ(stats->find("solved")->as_int64(), 1);
+  EXPECT_EQ(stats->find("dedup_hits")->as_int64(), 1);
+  EXPECT_EQ(stats->find("delta_updates")->as_int64(), 0);
+  EXPECT_EQ(stats->find("incremental_sessions")->as_int64(), 0);
+
+  // The shutdown --stats line renders the identical schema-tagged object.
+  const std::string line = render_stats_line(server.stats());
+  const auto line_doc = io::parse_json(line);
+  ASSERT_TRUE(line_doc.has_value());
+  EXPECT_EQ(line_doc->find("schema")->as_string(), kServeStatsSchema);
+  EXPECT_EQ(line_doc->find("received")->as_int64(), 3);
 }
 
 TEST(ServerSession, TimingOptInAddsSecondsWithoutChangingTheRest) {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "gen/random_dag.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/digraph.hpp"
@@ -11,6 +12,29 @@
 #include "support/rng.hpp"
 
 namespace acolay::test {
+
+/// Structured-path submit for tests: wraps (g, params) in a SolveRequest
+/// — the request-surface counterpart of the deprecated submit(g, params)
+/// shim. The graph must outlive the job (the solver borrows it).
+inline core::BatchJobId submit_request(core::BatchSolver& solver,
+                                       const graph::Digraph& g,
+                                       const core::AcoParams& params) {
+  core::SolveRequest request;
+  request.graph = &g;
+  request.params = params;
+  return solver.submit(request);
+}
+
+/// Structured-path wait for tests that expect success: throws CheckError
+/// on a rejected/failed outcome (making the test fail loudly) and returns
+/// the solver-owned result otherwise.
+inline const core::AcoResult& wait_result(core::BatchSolver& solver,
+                                          core::BatchJobId id) {
+  const core::SolveOutcome& outcome = solver.wait_outcome(id);
+  ACOLAY_CHECK_MSG(outcome.ok(),
+                   "job " << id << " failed: " << outcome.message);
+  return outcome.result;
+}
 
 /// Every fixture builder routes its graph through this gate: a cyclic
 /// fixture would silently turn suites that assume DAG inputs (layering
