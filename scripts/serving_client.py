@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Socket client for the acolay_serve daemon (docs/SERVING.md).
+
+Connects to a daemon started with --listen PORT or --unix PATH, sends a
+newline-delimited JSON request stream, and prints the response stream to
+stdout. The daemon answers each connection's frames in that connection's
+arrival order, so the output of
+
+    serving_client.py --unix /run/acolay.sock --input requests.jsonl
+
+is byte-identical to piping the same file through the daemon's stdin
+(the property scripts/serving_smoke.py --transport unix|tcp gates in CI).
+
+The module is also importable: replay(address, frames) returns the
+response bytes for a request byte stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import socket
+import sys
+
+
+def parse_address(connect: str | None, unix: str | None):
+    """Returns (family, address) for socket.socket/connect."""
+    if (connect is None) == (unix is None):
+        raise SystemExit("exactly one of --connect/--unix is required")
+    if unix is not None:
+        return socket.AF_UNIX, unix
+    host, sep, port = connect.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--connect wants HOST:PORT, got '{connect}'")
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+def replay(family: int, address, frames: bytes, timeout: float = 120.0) -> bytes:
+    """Sends `frames`, half-closes, and reads the full response stream.
+
+    The daemon emits exactly one response line per request line and closes
+    the connection once everything this client sent is answered, so
+    read-to-EOF is the complete per-connection transcript.
+    """
+    with socket.socket(family, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(address)
+        sock.sendall(frames)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--connect", metavar="HOST:PORT",
+                       help="TCP endpoint of a daemon started with --listen")
+    group.add_argument("--unix", metavar="PATH",
+                       help="unix-socket path of a daemon started with --unix")
+    parser.add_argument("--input", metavar="FILE",
+                        help="request stream file (default: stdin)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="socket timeout in seconds (default 120)")
+    args = parser.parse_args()
+
+    if args.input:
+        frames = pathlib.Path(args.input).read_bytes()
+    else:
+        frames = sys.stdin.buffer.read()
+
+    family, address = parse_address(args.connect, args.unix)
+    responses = replay(family, address, frames, args.timeout)
+    sys.stdout.buffer.write(responses)
+
+    expected = len(frames.splitlines())
+    got = len(responses.splitlines())
+    if got != expected:
+        print(f"serving_client: expected {expected} responses, got {got}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

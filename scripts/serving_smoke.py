@@ -2,15 +2,27 @@
 """Golden-transcript smoke test for the acolay_serve daemon.
 
 Replays the canned request stream (tests/serving/requests.jsonl) through
-the daemon's stdin/stdout pipe at several thread counts and requires the
-responses to be byte-identical to each other AND to the checked-in golden
-transcript (tests/serving/golden.jsonl). A served response stream is a
-pure function of the input stream — arrival-order emission, timing fields
-off, stable error messages — so any byte of drift is a wire-protocol or
-determinism break and fails the gate.
+the daemon at several thread counts and requires the responses to be
+byte-identical to each other AND to the checked-in golden transcript
+(tests/serving/golden.jsonl). A served response stream is a pure function
+of the input stream — arrival-order emission, timing fields off, stable
+error messages — so any byte of drift is a wire-protocol or determinism
+break and fails the gate.
 
-Used by the `serving-smoke` CI job and the `serving.golden_smoke` ctest
-case. Regenerate the transcript deliberately after an intentional
+--transport selects how the stream reaches the daemon:
+
+  pipe (default)  stdin/stdout, exactly as before
+  tcp             start the daemon with --listen 0, replay over loopback
+                  via scripts/serving_client.py, then SIGTERM and require
+                  a clean drain (exit 0 + stats line on stderr)
+  unix            same, over a unix-domain socket (--unix)
+
+The socket transports gate the transport-equivalence contract from
+docs/SERVING.md: one connection's transcript is byte-identical to the
+pipe's for the same stream.
+
+Used by the `serving-smoke` CI job and the `serving.golden_smoke*` ctest
+cases. Regenerate the transcript deliberately after an intentional
 protocol change with:
 
     python3 scripts/serving_smoke.py --binary <acolay_serve> \
@@ -22,12 +34,20 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import os
 import pathlib
+import signal
+import socket
 import subprocess
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import serving_client  # noqa: E402
 
-def replay(binary: str, requests: bytes, threads: int) -> bytes:
+READY_MARKER = "listening on "
+
+
+def replay_pipe(binary: str, requests: bytes, threads: int) -> bytes:
     proc = subprocess.run(
         [binary, "--threads", str(threads)],
         input=requests,
@@ -42,6 +62,67 @@ def replay(binary: str, requests: bytes, threads: int) -> bytes:
             f"{proc.returncode}"
         )
     return proc.stdout
+
+
+def replay_socket(binary: str, requests: bytes, threads: int,
+                  transport: str) -> bytes:
+    """One daemon, one connection, full golden stream; then drain it.
+
+    Beyond the transcript, this pins the lifecycle half of the socket
+    contract: the daemon announces readiness on stderr, SIGTERM drains
+    it to exit 0, and the final stderr line carries the listener stats.
+    """
+    argv = [binary, "--threads", str(threads), "--drain-timeout", "30"]
+    sock_path = ""
+    if transport == "unix":
+        sock_path = f"acolay_smoke_{os.getpid()}_{threads}.sock"
+        argv += ["--unix", sock_path]
+    else:
+        argv += ["--listen", "0"]
+
+    proc = subprocess.Popen(argv, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE)
+    try:
+        # The readiness line ("acolay_serve: listening on <endpoint>") is
+        # the daemon's only startup output; the endpoint resolves --listen
+        # 0 to the ephemeral port the kernel picked.
+        line = proc.stderr.readline().decode(errors="replace")
+        if READY_MARKER not in line:
+            raise SystemExit(f"daemon never became ready; stderr: {line!r}")
+        endpoint = line.split(READY_MARKER, 1)[1].strip()
+        if transport == "unix":
+            family, address = socket.AF_UNIX, endpoint
+        else:
+            host, _, port = endpoint.rpartition(":")
+            family, address = socket.AF_INET, (host, int(port))
+
+        responses = serving_client.replay(family, address, requests)
+
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        if proc.returncode != 0:
+            sys.stderr.write(stderr.decode(errors="replace"))
+            raise SystemExit(
+                f"daemon exited with {proc.returncode} on SIGTERM "
+                f"(wanted a graceful drain to 0)"
+            )
+        if b'"connections_accepted"' not in stderr:
+            sys.stderr.write(stderr.decode(errors="replace"))
+            raise SystemExit("daemon drained without printing the stats line")
+        return responses
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        if sock_path and os.path.exists(sock_path):
+            os.unlink(sock_path)
+
+
+def replay(binary: str, requests: bytes, threads: int,
+           transport: str) -> bytes:
+    if transport == "pipe":
+        return replay_pipe(binary, requests, threads)
+    return replay_socket(binary, requests, threads, transport)
 
 
 def show_diff(golden: bytes, got: bytes) -> None:
@@ -66,15 +147,23 @@ def main() -> int:
                         help="checked-in golden transcript to diff against")
     parser.add_argument("--threads", type=int, action="append",
                         help="thread counts to replay at (default: 1 and 4)")
+    parser.add_argument("--transport", choices=["pipe", "tcp", "unix"],
+                        default="pipe",
+                        help="how the stream reaches the daemon "
+                             "(default: pipe)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the golden transcript instead of "
                              "diffing (for deliberate protocol changes)")
     args = parser.parse_args()
 
+    if args.update and args.transport != "pipe":
+        parser.error("--update regenerates from the pipe transport only")
+
     requests = pathlib.Path(args.requests).read_bytes()
     thread_counts = args.threads or [1, 4]
 
-    outputs = {t: replay(args.binary, requests, t) for t in thread_counts}
+    outputs = {t: replay(args.binary, requests, t, args.transport)
+               for t in thread_counts}
     first = thread_counts[0]
     for t in thread_counts[1:]:
         if outputs[t] != outputs[first]:
@@ -93,13 +182,14 @@ def main() -> int:
 
     golden = golden_path.read_bytes()
     if outputs[first] != golden:
-        print("FAIL: served transcript differs from the golden transcript "
-              f"({golden_path})")
+        print(f"FAIL: served transcript over '{args.transport}' differs "
+              f"from the golden transcript ({golden_path})")
         show_diff(golden, outputs[first])
         return 1
 
     print(f"serving smoke OK: {len(golden.splitlines())} responses "
-          f"byte-identical at threads {thread_counts}")
+          f"byte-identical at threads {thread_counts} over "
+          f"{args.transport}")
     return 0
 
 

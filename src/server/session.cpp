@@ -49,9 +49,16 @@ bool same_solve_input(const graph::Digraph& a, const graph::Digraph& b) {
 }
 
 /// The schema-tagged stats object shared by the wire frame and the
-/// --stats line.
+/// --stats line (field rendering delegated to the public export hook).
 void write_stats_object(io::JsonWriter& w, const ServeStats& stats) {
   w.begin_object();
+  append_stats_fields(w, stats);
+  w.end_object();
+}
+
+}  // namespace
+
+void append_stats_fields(io::JsonWriter& w, const ServeStats& stats) {
   w.kv("schema", std::string(kServeStatsSchema));
   w.kv("received", stats.received);
   w.kv("admitted", stats.admitted);
@@ -66,10 +73,7 @@ void write_stats_object(io::JsonWriter& w, const ServeStats& stats) {
   w.kv("rejected_invalid", stats.rejected_invalid);
   w.kv("rejected_overload", stats.rejected_overload);
   w.kv("rejected_deadline", stats.rejected_deadline);
-  w.end_object();
 }
-
-}  // namespace
 
 std::string render_stats_response(const std::string& id,
                                   const ServeStats& stats) {

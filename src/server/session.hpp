@@ -73,6 +73,10 @@
 #include "server/queue.hpp"
 #include "support/timer.hpp"
 
+namespace acolay::io {
+class JsonWriter;
+}  // namespace acolay::io
+
 namespace acolay::server {
 
 /// Monotonic time source (seconds, arbitrary epoch) for deadline checks —
@@ -122,6 +126,16 @@ struct ServeStats {
   std::uint64_t rejected_overload = 0;  ///< backpressure
   std::uint64_t rejected_deadline = 0;  ///< shed at dispatch
 };
+
+/// Export hook for the stats schema: appends the kServeStatsSchema tag
+/// and every ServeStats field as key/value pairs into an object `w` has
+/// already opened. The "stats" wire frame, the --stats shutdown line, and
+/// the socket listener's stderr line (which adds its connection counters
+/// after these fields) all render through this one function, so the
+/// scrapeable shapes can never drift apart. The in-flight dedup split
+/// (shared vs cached) depends on completion timing, so the merged,
+/// stream-deterministic `dedup_hits` is exported instead.
+void append_stats_fields(io::JsonWriter& w, const ServeStats& stats);
 
 /// Renders the "stats" response frame for `id` (one line, no trailing
 /// newline; schema kServeStatsSchema). The in-flight dedup split
