@@ -13,6 +13,7 @@ std::vector<harness::Suite> all_suites() {
   suites.push_back(pheromone_update_suite());
   suites.push_back(serving_latency_suite());
   suites.push_back(relayer_latency_suite());
+  suites.push_back(cyclic_admission_suite());
   return suites;
 }
 

@@ -53,6 +53,13 @@ harness::Suite serving_latency_suite();
 /// headline and the versioned incremental-quality tolerances.
 harness::Suite relayer_latency_suite();
 
+/// cyclic_admission — the Phase 0 FAS pass on planted-cycle digraphs:
+/// reversal counts (gated aco <= greedy and == the planted minimum) and
+/// end-to-end latency vs the DAG-only path (gated <= 3x greedy, <= 6x
+/// aco — the aco_fas Phase 0 mini-colony is comparable to the main solve
+/// on the small CI instances).
+harness::Suite cyclic_admission_suite();
+
 /// Every registered suite, in canonical order.
 std::vector<harness::Suite> all_suites();
 

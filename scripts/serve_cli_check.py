@@ -83,6 +83,7 @@ VALUE_FLAGS = {
     "--max-inflight": "2",
     "--cache": "4",
     "--max-incremental-sessions": "4",
+    "--cycle-policy": "greedy_reverse",
     "--drain-timeout": "1.5",
     "--stats-every": "2",
     "--listen": "0",

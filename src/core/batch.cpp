@@ -41,10 +41,25 @@ BatchJobId BatchSolver::submit(const SolveRequest& request) {
     return id;
   }
 
+  // Phase 0 (cycle policy): a cyclic graph admitted by the gate above is
+  // reoriented once, here at admission, so the colony task only ever sees
+  // a DAG. The job owns the reoriented graph (the caller's borrowed graph
+  // stays untouched) and the reversal is already part of the outcome.
+  if (effective.cycle_policy != CyclePolicy::kReject) {
+    CycleResolution phase0;
+    resolve_cycles(*effective.graph, effective.cycle_policy,
+                   effective.params.seed, phase0);
+    if (phase0.graph != effective.graph) {
+      job.owned_dag = std::move(phase0.owned);
+      job.request.graph = &job.owned_dag;
+      job.outcome.reversed_edges = std::move(phase0.reversed_edges);
+    }
+  }
+
   // Freeze the CSR snapshot and publish the new high-water dimensions
   // before the job can run. Single writer (the owning thread), so a plain
   // load-compare-store suffices.
-  const graph::Digraph& g = *effective.graph;
+  const graph::Digraph& g = *job.request.graph;
   job.csr.rebuild(g);
   if (g.num_vertices() > max_vertices_.load(std::memory_order_relaxed)) {
     max_vertices_.store(g.num_vertices(), std::memory_order_relaxed);
@@ -169,6 +184,7 @@ SolveOutcome BatchSolver::collect_outcome(BatchJobId id) {
   // that stays behind is O(1), keeping a long-lived solver bounded.
   job.outcome = SolveOutcome{};
   job.csr = graph::CsrView{};
+  job.owned_dag = graph::Digraph{};
   job.request.graph = nullptr;
   job.request.warm_tau = nullptr;
   return outcome;

@@ -177,6 +177,11 @@ class BatchSolver {
     explicit Job(const SolveRequest& r) : request(r) {}
 
     SolveRequest request;  ///< effective request (seed already derived)
+    /// Phase 0 storage: when a cyclic graph was admitted under a
+    /// non-reject CyclePolicy, the job owns the reoriented DAG and
+    /// request.graph points here instead of at the caller's graph.
+    /// Released by collect, like the snapshot.
+    graph::Digraph owned_dag;
     graph::CsrView csr;    ///< frozen at admission, released by collect
     SolveOutcome outcome;  ///< result or structured failure
     std::exception_ptr error;  ///< legacy rethrow channel (solve errors)

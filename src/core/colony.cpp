@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/longest_path.hpp"
+#include "core/request.hpp"
 #include "core/stretch.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/csr.hpp"
@@ -231,13 +232,30 @@ AcoResult run_validated_colony(const graph::Digraph& g,
 }
 
 AntColony::AntColony(const graph::Digraph& g, AcoParams params)
+    : AntColony(g, params, CyclePolicy::kReject) {}
+
+AntColony::AntColony(const graph::Digraph& g, AcoParams params,
+                     CyclePolicy policy)
     : g_(g), params_(params) {
-  ACOLAY_CHECK_MSG(graph::is_dag(g), "AntColony requires a DAG");
+  if (policy == CyclePolicy::kReject) {
+    ACOLAY_CHECK_MSG(graph::is_dag(g), "AntColony requires a DAG");
+    effective_ = &g_;
+  } else {
+    CycleResolution phase0;
+    resolve_cycles(g, policy, params_.seed, phase0);
+    reversed_edges_ = std::move(phase0.reversed_edges);
+    if (phase0.graph == &g) {
+      effective_ = &g_;
+    } else {
+      owned_dag_ = std::move(phase0.owned);
+      effective_ = &owned_dag_;
+    }
+  }
   validate_aco_params(params_);
 }
 
 AcoResult AntColony::run() {
-  return run_validated_colony(g_, params_, ws_);
+  return run_validated_colony(*effective_, params_, ws_);
 }
 
 layering::Layering aco_layering(const graph::Digraph& g,

@@ -144,8 +144,14 @@ AcoResult run_validated_colony(const graph::Digraph& g,
 /// over a fresh CSR snapshot.
 class AntColony {
  public:
-  /// Requires a DAG.
+  /// Requires a DAG (CyclePolicy::kReject).
   AntColony(const graph::Digraph& g, AcoParams params);
+
+  /// Admits any digraph per `policy`: kReject requires a DAG; the other
+  /// policies run Phase 0 (graph/cycle_removal.hpp) once at construction,
+  /// reverse a feedback arc set, and run every run() on the reoriented
+  /// DAG. The reversal is reported by reversed_edges().
+  AntColony(const graph::Digraph& g, AcoParams params, CyclePolicy policy);
 
   /// Runs the full search (paper runColony()).
   AcoResult run();
@@ -153,9 +159,20 @@ class AntColony {
   /// The validated parameters this colony runs with.
   const AcoParams& params() const { return params_; }
 
+  /// The edges Phase 0 reversed at construction, original orientation
+  /// (empty for DAG inputs and under CyclePolicy::kReject).
+  const std::vector<graph::Edge>& reversed_edges() const {
+    return reversed_edges_;
+  }
+
  private:
   const graph::Digraph& g_;
   AcoParams params_;
+  /// Phase 0 storage: the reoriented DAG when the input was cyclic.
+  graph::Digraph owned_dag_;
+  /// The graph run() layers: `&owned_dag_` after a reversal, else `&g_`.
+  const graph::Digraph* effective_ = nullptr;
+  std::vector<graph::Edge> reversed_edges_;
   /// Whole-colony workspace, reused across run() calls so the steady-state
   /// inner loop is allocation-free.
   ColonyWorkspace ws_;

@@ -17,7 +17,18 @@ IncrementalSolver::IncrementalSolver(graph::Digraph g, AcoParams params,
   ACOLAY_CHECK(options_.update_tours >= 0);
   ACOLAY_CHECK(options_.update_stagnation_tours >= 1);
   ACOLAY_CHECK(options_.churn_threshold >= 0.0);
-  ACOLAY_CHECK_MSG(graph::is_dag(graph_), "IncrementalSolver requires a DAG");
+  if (options_.cycle_policy == CyclePolicy::kReject) {
+    ACOLAY_CHECK_MSG(graph::is_dag(graph_),
+                     "IncrementalSolver requires a DAG");
+  } else {
+    // Phase 0: the session's evolving instance is the reoriented DAG.
+    CycleResolution phase0;
+    resolve_cycles(graph_, options_.cycle_policy, params_.seed, phase0);
+    if (phase0.graph != &graph_) {
+      graph_ = std::move(phase0.owned);
+      initial_reversed_ = std::move(phase0.reversed_edges);
+    }
+  }
   csr_.rebuild(graph_);
   fingerprint_ = csr_.fingerprint();
   if (params_.num_threads != 1) {
@@ -44,6 +55,7 @@ const SolveOutcome& IncrementalSolver::solve() {
   // ws_.tau, which is exactly the warm state update() builds on.
   outcome_.error = AdmissionError::kNone;
   outcome_.message.clear();
+  outcome_.reversed_edges = initial_reversed_;
   outcome_.result = run_colony(graph_, csr_, params_, ws_, pool_.get());
   has_state_ = true;
   return outcome_;
@@ -66,6 +78,7 @@ void IncrementalSolver::adopt(const PheromoneMatrix& tau,
   }
   outcome_.error = AdmissionError::kNone;
   outcome_.message.clear();
+  outcome_.reversed_edges.clear();
   outcome_.result.layering = best;
   outcome_.result.trace.clear();
   outcome_.result.seconds = 0.0;
@@ -100,8 +113,9 @@ bool IncrementalSolver::topo_order_into(const graph::Digraph& g) {
   return order_.size() == n;
 }
 
-void IncrementalSolver::remap_pheromone(const graph::GraphDelta& delta,
-                                        std::size_t n_old) {
+void IncrementalSolver::remap_pheromone(
+    const graph::GraphDelta& delta, std::size_t n_old,
+    std::span<const graph::Edge> reoriented) {
   const std::size_t n = graph_.num_vertices();
   const int layers = num_layers();
 
@@ -124,6 +138,12 @@ void IncrementalSolver::remap_pheromone(const graph::GraphDelta& delta,
     if (t != graph::DeltaRemap::kRemoved) {
       touched_[static_cast<std::size_t>(t)] = 1;
     }
+  }
+  // Cycle-breaking reversals rewire neighbourhoods beyond the delta
+  // itself; their endpoints are stale too (already new-id space).
+  for (const graph::Edge& e : reoriented) {
+    touched_[static_cast<std::size_t>(e.source)] = 1;
+    touched_[static_cast<std::size_t>(e.target)] = 1;
   }
 
   tau_scratch_.reset(n, layers, params_.tau0);
@@ -212,16 +232,37 @@ const SolveOutcome& IncrementalSolver::update(const graph::GraphDelta& delta) {
     outcome_.message = std::move(err);
     return outcome_;
   }
+  outcome_.reversed_edges.clear();
+  bool cycle_broken = false;
   if (!topo_order_into(scratch_graph_)) {
-    outcome_.error = AdmissionError::kCycle;
-    outcome_.message = "delta introduces a cycle";
-    return outcome_;
+    if (options_.cycle_policy == CyclePolicy::kReject) {
+      outcome_.error = AdmissionError::kCycle;
+      outcome_.message = "delta introduces a cycle";
+      return outcome_;
+    }
+    // Phase 0 on the post-delta graph, seeded like the update run below so
+    // the session stays a pure function of (initial graph, params, deltas).
+    CycleResolution phase0;
+    resolve_cycles(scratch_graph_, options_.cycle_policy,
+                   params_.seed + static_cast<std::uint64_t>(num_updates_) + 1,
+                   phase0);
+    scratch_graph_ = std::move(phase0.owned);
+    outcome_.reversed_edges = std::move(phase0.reversed_edges);
+    ACOLAY_CHECK(topo_order_into(scratch_graph_));
+    cycle_broken = true;
   }
   const std::size_t n_old = graph_.num_vertices();
   std::swap(graph_, scratch_graph_);
 
-  last_refreeze_ = csr_.refreeze(graph_, delta, options_.churn_threshold);
-  remap_pheromone(delta, n_old);
+  if (cycle_broken) {
+    // The reversals rewrote edges beyond the delta, so the copy-with-patch
+    // refreeze would mis-describe the mutation: take the full rebuild.
+    csr_.rebuild(graph_);
+    last_refreeze_ = graph::RefreezeKind::kFull;
+  } else {
+    last_refreeze_ = csr_.refreeze(graph_, delta, options_.churn_threshold);
+  }
+  remap_pheromone(delta, n_old, outcome_.reversed_edges);
   repair_base(delta);
   ws_.reserve(static_cast<std::size_t>(params_.num_ants),
               graph_.num_vertices(),

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/colony.hpp"
@@ -62,6 +63,14 @@ struct IncrementalOptions {
   /// Edge churn fraction above which refreeze falls back to a full
   /// rebuild (forwarded to CsrView::refreeze).
   double churn_threshold = 0.25;
+  /// What to do with cycles (Phase 0, see core::CyclePolicy): under
+  /// kReject the constructor requires a DAG and a cycle-introducing delta
+  /// is rejected transactionally with kCycle; the other policies admit a
+  /// cyclic initial graph and break delta-introduced cycles by reversing
+  /// a feedback arc set — the session's evolving graph is always the
+  /// reoriented DAG (subsequent deltas reference its edge orientations),
+  /// and each update's reversals land in SolveOutcome::reversed_edges.
+  CyclePolicy cycle_policy = CyclePolicy::kReject;
 };
 
 /// Version of the incremental-quality tolerance contract below. Bump it
@@ -90,9 +99,12 @@ inline constexpr double kIncrementalMeanTolerance = 0.08;
 class IncrementalSolver {
  public:
   /// Takes ownership of `g` (the evolving instance). Validates the params
-  /// ranges and that `g` is a DAG (support::CheckError on violation, like
-  /// AntColony's constructor); per-delta problems are reported as
-  /// structured outcomes instead.
+  /// ranges and — under CyclePolicy::kReject — that `g` is a DAG
+  /// (support::CheckError on violation, like AntColony's constructor);
+  /// the other policies reorient a cyclic `g` here, Phase 0 style (the
+  /// reversal is reported by initial_reversed_edges() and by the first
+  /// solve()). Per-delta problems are reported as structured outcomes
+  /// instead.
   IncrementalSolver(graph::Digraph g, AcoParams params,
                     IncrementalOptions options = {});
 
@@ -117,6 +129,12 @@ class IncrementalSolver {
   /// Whether solve()/adopt() has established state for update() to build
   /// on.
   bool has_state() const { return has_state_; }
+  /// The edges the constructor reversed to make a cyclic initial graph
+  /// acyclic (original orientation; empty under CyclePolicy::kReject or
+  /// for DAG inputs). graph() is the reoriented instance.
+  const std::vector<graph::Edge>& initial_reversed_edges() const {
+    return initial_reversed_;
+  }
 
   /// Cold full-budget solve of the current graph, retaining the final
   /// pheromone matrix and best layering as the warm state for subsequent
@@ -132,12 +150,18 @@ class IncrementalSolver {
   void adopt(const PheromoneMatrix& tau, const layering::Layering& best);
 
   /// Applies `delta` and re-solves warm. On a structurally invalid delta
-  /// (kBadRequest) or one that introduces a cycle (kCycle) the solver
-  /// state — graph included — is untouched. Requires prior state
-  /// (solve()/adopt()); returns kBadRequest otherwise. The returned
-  /// outcome is borrowed and valid until the next call; its result holds
-  /// `initial_objective` = the repaired warm base's objective, so callers
-  /// can report the warm head start.
+  /// (kBadRequest) or — under CyclePolicy::kReject — one that introduces
+  /// a cycle (kCycle) the solver state, graph included, is untouched.
+  /// Under the other policies a cycle-introducing delta is admitted: the
+  /// post-delta graph gets a feedback arc set reversed (seeded like the
+  /// update run itself, so the whole sequence stays a pure function of
+  /// (initial graph, params, options, deltas)), the reversal is reported
+  /// in the outcome's reversed_edges, and the session's graph becomes the
+  /// reoriented DAG. Requires prior state (solve()/adopt()); returns
+  /// kBadRequest otherwise. The returned outcome is borrowed and valid
+  /// until the next call; its result holds `initial_objective` = the
+  /// repaired warm base's objective, so callers can report the warm head
+  /// start.
   const SolveOutcome& update(const graph::GraphDelta& delta);
 
  private:
@@ -147,8 +171,11 @@ class IncrementalSolver {
   /// Kahn order of `g` into order_ (sources first). False on a cycle.
   bool topo_order_into(const graph::Digraph& g);
   /// Remaps ws_.tau across the delta (see the file comment), using
-  /// `n_old` pre-delta rows.
-  void remap_pheromone(const graph::GraphDelta& delta, std::size_t n_old);
+  /// `n_old` pre-delta rows. `reoriented` lists extra edges (new-id
+  /// space) whose endpoints' neighbourhoods changed beyond the delta —
+  /// the Phase 0 reversals of a cycle-breaking update.
+  void remap_pheromone(const graph::GraphDelta& delta, std::size_t n_old,
+                       std::span<const graph::Edge> reoriented);
   /// Builds the repaired warm base into base_ from the previous best.
   void repair_base(const graph::GraphDelta& delta);
 
@@ -163,6 +190,8 @@ class IncrementalSolver {
   int num_updates_ = 0;
   bool has_state_ = false;
   graph::RefreezeKind last_refreeze_ = graph::RefreezeKind::kFull;
+  /// Constructor-time Phase 0 reversal (see initial_reversed_edges()).
+  std::vector<graph::Edge> initial_reversed_;
 
   // Update scratch, persisted for allocation-free steady state.
   graph::Digraph scratch_graph_;

@@ -11,6 +11,30 @@
 
 namespace acolay::core {
 
+/// What a solver entry point does with a cyclic input graph — "Phase 0"
+/// of the solve path (graph/cycle_removal.hpp). The layering engine itself
+/// always runs on a DAG; the non-reject policies reverse a feedback arc
+/// set ahead of the colony and report the reversed edges (original
+/// orientation) in SolveOutcome::reversed_edges. Part of the admission
+/// surface (core::SolveRequest) rather than AcoParams so the params-equality
+/// dedup contract of the serving layer is unchanged; it lives here so
+/// colony/batch/incremental share the enum without an include cycle.
+enum class CyclePolicy {
+  /// Reject cyclic graphs at admission with AdmissionError::kCycle — the
+  /// default, and the only behaviour before cycles became first-class.
+  kReject = 0,
+  /// Reverse the greedy Eades–Lin–Smyth feedback arc set
+  /// (graph::make_acyclic) before solving.
+  kGreedyReverse,
+  /// Reverse an ACO-guided feedback arc set (graph::make_acyclic_aco,
+  /// seeded from AcoParams::seed; never more reversals than greedy).
+  kAcoFas,
+};
+
+/// Stable wire identifier of a CyclePolicy ("reject", "greedy_reverse",
+/// "aco_fas") — the request field's vocabulary in docs/SERVING.md.
+const char* cycle_policy_name(CyclePolicy policy);
+
 /// How an ant picks the layer for a vertex from the random proportional
 /// rule's probabilities (Eq. (1)).
 enum class SelectionRule {

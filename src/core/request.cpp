@@ -3,9 +3,22 @@
 #include <utility>
 
 #include "graph/algorithms.hpp"
+#include "graph/cycle_removal.hpp"
 #include "support/check.hpp"
 
 namespace acolay::core {
+
+const char* cycle_policy_name(CyclePolicy policy) {
+  switch (policy) {
+    case CyclePolicy::kReject:
+      return "reject";
+    case CyclePolicy::kGreedyReverse:
+      return "greedy_reverse";
+    case CyclePolicy::kAcoFas:
+      return "aco_fas";
+  }
+  return "reject";
+}
 
 const char* admission_error_code(AdmissionError error) {
   switch (error) {
@@ -36,7 +49,8 @@ AdmissionError validate_request(const SolveRequest& request,
     if (message != nullptr) *message = "request carries no graph";
     return AdmissionError::kBadRequest;
   }
-  if (!graph::is_dag(*request.graph)) {
+  if (request.cycle_policy == CyclePolicy::kReject &&
+      !graph::is_dag(*request.graph)) {
     if (message != nullptr) *message = "graph is not a DAG";
     return AdmissionError::kCycle;
   }
@@ -58,13 +72,38 @@ AdmissionError validate_request(const SolveRequest& request,
   return AdmissionError::kNone;
 }
 
+void resolve_cycles(const graph::Digraph& g, CyclePolicy policy,
+                    std::uint64_t seed, CycleResolution& out) {
+  out.owned = graph::Digraph();
+  out.reversed_edges.clear();
+  if (policy == CyclePolicy::kReject || graph::is_dag(g)) {
+    out.graph = &g;
+    return;
+  }
+  graph::AcyclicResult acyclic;
+  if (policy == CyclePolicy::kGreedyReverse) {
+    acyclic = graph::make_acyclic(g);
+  } else {
+    graph::FasOptions options;
+    options.seed = seed;
+    acyclic = graph::make_acyclic_aco(g, options);
+  }
+  out.owned = std::move(acyclic.dag);
+  out.reversed_edges = std::move(acyclic.reversed_edges);
+  out.graph = &out.owned;
+}
+
 SolveOutcome solve(const SolveRequest& request) {
   SolveOutcome outcome;
   outcome.error = validate_request(request, &outcome.message);
   if (!outcome.ok()) return outcome;
+  CycleResolution phase0;
+  resolve_cycles(*request.graph, request.cycle_policy, request.params.seed,
+                 phase0);
+  outcome.reversed_edges = std::move(phase0.reversed_edges);
   ColonyWorkspace ws;
   outcome.result =
-      run_validated_colony(*request.graph, request.params, ws, request.warm_tau);
+      run_validated_colony(*phase0.graph, request.params, ws, request.warm_tau);
   return outcome;
 }
 

@@ -16,7 +16,9 @@
 // from the wire to the colony.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/colony.hpp"
 #include "core/params.hpp"
@@ -50,11 +52,20 @@ const char* admission_error_code(AdmissionError error);
 /// scheduling envelope. The graph is borrowed — the caller keeps it alive
 /// until the outcome has been produced (BatchSolver: until collected).
 struct SolveRequest {
-  /// The DAG to layer. Must be non-null at every entry point.
+  /// The graph to layer. Must be non-null at every entry point. Must be a
+  /// DAG under CyclePolicy::kReject; the other policies admit any digraph.
   const graph::Digraph* graph = nullptr;
 
   /// Search tunables, seed included (validated by validate_request).
   AcoParams params;
+
+  /// What to do when `graph` is cyclic (Phase 0, see CyclePolicy). The
+  /// non-reject policies reverse a feedback arc set before the colony runs
+  /// and report it in SolveOutcome::reversed_edges; results are still a
+  /// pure function of (graph, params, policy) — the FAS search is serial
+  /// and seeded from params.seed, so the reversal set and the layering are
+  /// bit-identical at any thread count.
+  CyclePolicy cycle_policy = CyclePolicy::kReject;
 
   /// Relative deadline in seconds from admission; <= 0 means none. Only
   /// the serving layer's queue honors it (expired requests are shed
@@ -82,16 +93,43 @@ struct SolveOutcome {
   std::string message;
   /// The colony's result; default-constructed unless error == kNone.
   AcoResult result;
+  /// The edges Phase 0 reversed to make a cyclic input acyclic, in their
+  /// original (pre-reversal) orientation and the input's edge order. Empty
+  /// for DAG inputs and under CyclePolicy::kReject. The layering in
+  /// `result` layers the reoriented DAG (reversing these edges in the
+  /// input reconstructs it).
+  std::vector<graph::Edge> reversed_edges;
 
   /// Whether the request was admitted and solved.
   bool ok() const { return error == AdmissionError::kNone; }
 };
 
-/// The shared admission gate: checks the graph (present, acyclic) and the
-/// params ranges. Returns the verdict and, when `message` is non-null,
-/// fills it with the failure detail (cleared on success). Never throws.
+/// The shared admission gate: checks the graph (present; acyclic unless
+/// the cycle policy admits cycles) and the params ranges. Returns the
+/// verdict and, when `message` is non-null, fills it with the failure
+/// detail (cleared on success). Never throws.
 AdmissionError validate_request(const SolveRequest& request,
                                 std::string* message);
+
+/// Phase 0 outcome for one admitted graph (resolve_cycles below).
+struct CycleResolution {
+  /// The DAG the colony should run on: `&owned` when a reversal happened,
+  /// otherwise the borrowed input graph.
+  const graph::Digraph* graph = nullptr;
+  /// Storage for the reoriented graph (unused when the input was a DAG).
+  graph::Digraph owned;
+  /// The reversed edges, original orientation (empty for DAG inputs).
+  std::vector<graph::Edge> reversed_edges;
+};
+
+/// Phase 0 of every solve path: makes an admitted graph acyclic per the
+/// policy. DAG inputs (and kReject, whose admission gate already
+/// guaranteed a DAG) pass through borrowed and unchanged; cyclic inputs
+/// get a feedback arc set reversed — greedy (graph::make_acyclic) under
+/// kGreedyReverse, ACO-guided (graph::make_acyclic_aco, seeded from
+/// `seed`) under kAcoFas. Deterministic and serial; `out` is overwritten.
+void resolve_cycles(const graph::Digraph& g, CyclePolicy policy,
+                    std::uint64_t seed, CycleResolution& out);
 
 /// One-shot structured solve: validates, freezes a CSR snapshot, runs the
 /// colony (per params.num_threads), and returns the outcome. Admission

@@ -217,6 +217,42 @@ graph::Digraph random_north_dag(const NorthParams& params,
   return g;
 }
 
+PlantedCycleResult random_planted_cycles(const PlantedCycleParams& params,
+                                         support::Rng& rng) {
+  ACOLAY_CHECK(params.cycle_length >= 3);
+  PlantedCycleResult result;
+  result.graph = random_dag(params.base, rng);
+  auto& g = result.graph;
+  const std::size_t base_n = g.num_vertices();
+
+  for (std::size_t c = 0; c < params.num_cycles; ++c) {
+    // Fresh vertices c0 -> c1 -> ... -> c_{L-1}, closed by the back edge
+    // c_{L-1} -> c0. Every edge into this vertex set originates inside it,
+    // so the cycle is vertex-disjoint from everything else and reversing
+    // its back edge alone breaks it.
+    const auto first = g.add_vertex();
+    auto prev = first;
+    for (std::size_t i = 1; i < params.cycle_length; ++i) {
+      const auto next = g.add_vertex();
+      g.add_edge(prev, next);
+      prev = next;
+    }
+    g.add_edge(prev, first);
+    result.back_edges.push_back(graph::Edge{prev, first});
+    // Anchors run cycle -> base only: the base DAG has no edges back into
+    // the cycle vertices, so no anchor can close a second cycle.
+    if (base_n > 0) {
+      for (auto v = first; v <= prev; ++v) {
+        if (rng.bernoulli(params.attach_prob)) {
+          g.add_edge(v, static_cast<graph::VertexId>(rng.index(base_n)));
+        }
+      }
+    }
+  }
+  result.min_fas = result.back_edges.size();
+  return result;
+}
+
 graph::Digraph complete_bipartite_dag(std::size_t top, std::size_t bottom) {
   graph::Digraph g(top + bottom);
   for (std::size_t u = 0; u < top; ++u) {

@@ -86,6 +86,41 @@ struct NorthParams {
 /// width) that the paper's Figure 4 shows for the AT&T corpus.
 graph::Digraph random_north_dag(const NorthParams& params, support::Rng& rng);
 
+struct PlantedCycleParams {
+  /// The acyclic substrate the cycles are grafted onto.
+  GnmParams base;
+  /// Number of vertex-disjoint cycles planted on fresh vertices.
+  std::size_t num_cycles = 3;
+  /// Vertices per planted cycle. Must be >= 3: a 2-cycle is an antiparallel
+  /// pair, which Digraph::add_edge folds away on reversal, destroying the
+  /// exact-FAS accounting this generator exists to provide.
+  std::size_t cycle_length = 3;
+  /// Per cycle vertex: probability of an anchoring edge to a random base
+  /// vertex. Anchors run cycle -> base only, so they can never close a
+  /// second cycle through the substrate.
+  double attach_prob = 0.5;
+};
+
+/// A cyclic digraph with known-minimum feedback arc set, for FAS oracles
+/// and benchmarks.
+struct PlantedCycleResult {
+  graph::Digraph graph;  ///< the cyclic digraph
+  /// The planted back edges, one per cycle, in plant order. Removing (or
+  /// reversing) exactly these restores acyclicity.
+  std::vector<graph::Edge> back_edges;
+  /// The exact minimum FAS size (== back_edges.size()): the planted cycles
+  /// are vertex-disjoint, so any FAS needs one edge from each, and the
+  /// back edges themselves achieve that bound.
+  std::size_t min_fas = 0;
+};
+
+/// Grafts `num_cycles` vertex-disjoint directed cycles (each on fresh
+/// vertices) onto a random simple DAG. All edges into a cycle's vertex set
+/// come from within its own cycle, so the planted cycles are the only
+/// cycles in the graph and `min_fas` is exact, not an estimate.
+PlantedCycleResult random_planted_cycles(const PlantedCycleParams& params,
+                                         support::Rng& rng);
+
 /// Complete bipartite-style worst case for dummy counts: `top` sources each
 /// connected to `bottom` sinks.
 graph::Digraph complete_bipartite_dag(std::size_t top, std::size_t bottom);

@@ -1,0 +1,250 @@
+#include "graph/cycle_removal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <span>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace acolay::graph {
+
+namespace {
+
+/// Backward-edge count of `order` — the size of the feedback arc set the
+/// sequence induces. `position` is scratch of size n (overwritten).
+std::size_t count_backward(const Digraph& g,
+                           std::span<const VertexId> order,
+                           std::vector<int>& position) {
+  position.assign(g.num_vertices(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::size_t backward = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (position[static_cast<std::size_t>(u)] >
+        position[static_cast<std::size_t>(v)]) {
+      ++backward;
+    }
+  }
+  return backward;
+}
+
+/// Reverses the feedback arc set induced by `order` (shared by
+/// make_acyclic and make_acyclic_aco).
+AcyclicResult orient_by_order(const Digraph& g,
+                              std::span<const VertexId> order) {
+  AcyclicResult result;
+  std::vector<int> position(g.num_vertices());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  result.dag.reserve(g.num_vertices(), g.num_edges());
+  for (VertexId v = 0; static_cast<std::size_t>(v) < g.num_vertices(); ++v) {
+    result.dag.add_vertex(g.width(v), g.label(v));
+  }
+  for (const auto& edge : g.edges()) {
+    const auto [u, v] = edge;
+    if (position[static_cast<std::size_t>(u)] <
+        position[static_cast<std::size_t>(v)]) {
+      result.dag.add_edge(u, v);
+    } else {
+      result.reversed_edges.push_back(edge);
+      result.dag.add_edge(v, u);  // duplicates with existing edges fold
+    }
+  }
+  ACOLAY_CHECK_MSG(is_dag(result.dag),
+                   "FAS order left a cycle — implementation bug");
+  return result;
+}
+
+}  // namespace
+
+std::vector<VertexId> greedy_fas_order(const Digraph& g) {
+  const auto n = g.num_vertices();
+  std::deque<VertexId> s1;  // grows at the back
+  std::deque<VertexId> s2;  // grows at the front
+  std::vector<bool> removed(n, false);
+  std::vector<int> out_deg(n), in_deg(n);
+  std::size_t remaining = n;
+  for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    out_deg[static_cast<std::size_t>(v)] = static_cast<int>(g.out_degree(v));
+    in_deg[static_cast<std::size_t>(v)] = static_cast<int>(g.in_degree(v));
+  }
+
+  const auto remove_vertex = [&](VertexId v) {
+    removed[static_cast<std::size_t>(v)] = true;
+    --remaining;
+    for (const auto w : g.successors(v)) {
+      if (!removed[static_cast<std::size_t>(w)]) {
+        --in_deg[static_cast<std::size_t>(w)];
+      }
+    }
+    for (const auto w : g.predecessors(v)) {
+      if (!removed[static_cast<std::size_t>(w)]) {
+        --out_deg[static_cast<std::size_t>(w)];
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    // Exhaust sinks (out-degree 0) into the back sequence.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+        if (removed[static_cast<std::size_t>(v)]) continue;
+        if (out_deg[static_cast<std::size_t>(v)] == 0) {
+          s2.push_front(v);
+          remove_vertex(v);
+          changed = true;
+        }
+      }
+    }
+    // Exhaust sources into the front sequence.
+    changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+        if (removed[static_cast<std::size_t>(v)]) continue;
+        if (in_deg[static_cast<std::size_t>(v)] == 0) {
+          s1.push_back(v);
+          remove_vertex(v);
+          changed = true;
+        }
+      }
+    }
+    if (remaining == 0) break;
+    // Remove the vertex maximising outdeg - indeg.
+    VertexId best = -1;
+    int best_delta = 0;
+    for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      const int delta = out_deg[static_cast<std::size_t>(v)] -
+                        in_deg[static_cast<std::size_t>(v)];
+      if (best < 0 || delta > best_delta) {
+        best = v;
+        best_delta = delta;
+      }
+    }
+    ACOLAY_CHECK(best >= 0);
+    s1.push_back(best);
+    remove_vertex(best);
+  }
+
+  std::vector<VertexId> order(s1.begin(), s1.end());
+  order.insert(order.end(), s2.begin(), s2.end());
+  return order;
+}
+
+AcyclicResult make_acyclic(const Digraph& g) {
+  return orient_by_order(g, greedy_fas_order(g));
+}
+
+std::vector<VertexId> aco_fas_order(const Digraph& g,
+                                    const FasOptions& options) {
+  const auto n = g.num_vertices();
+  std::vector<VertexId> best = greedy_fas_order(g);
+  if (n < 2 || n > options.max_aco_vertices || options.num_ants <= 0 ||
+      options.num_tours <= 0) {
+    return best;
+  }
+  std::vector<int> position;
+  std::size_t best_cost = count_backward(g, best, position);
+  if (best_cost == 0) return best;  // already acyclic (or greedy is perfect)
+
+  // Pheromone tau[v][b] over position buckets: bucket(p) = p * B / n, so
+  // a deposit at one sequence slot generalises to nearby slots.
+  const std::size_t buckets = std::min<std::size_t>(n, 64);
+  const auto bucket_of = [&](std::size_t p) { return p * buckets / n; };
+  std::vector<double> tau(n * buckets, options.tau0);
+  std::vector<double> tau_pow(n * buckets);
+  // eta(v) = (out_rem + 1) / (in_rem + 1) favours source-like vertices
+  // early; eta^beta factors into cached integer powers.
+  std::vector<double> pow_table(n + 1);
+  for (std::size_t k = 0; k <= n; ++k) {
+    pow_table[k] = std::pow(static_cast<double>(k + 1), options.beta);
+  }
+
+  support::Rng rng(options.seed);
+  std::vector<VertexId> remaining, sequence, tour_best;
+  std::vector<int> out_rem(n), in_rem(n);
+  std::vector<bool> placed(n, false);
+  std::vector<double> weights;
+  std::size_t tour_best_cost = 0;
+
+  for (int tour = 0; tour < options.num_tours; ++tour) {
+    for (std::size_t i = 0; i < tau.size(); ++i) {
+      tau_pow[i] = std::pow(tau[i], options.alpha);
+    }
+    bool have_tour_best = false;
+    for (int ant = 0; ant < options.num_ants; ++ant) {
+      remaining.resize(n);
+      for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+        remaining[static_cast<std::size_t>(v)] = v;
+        out_rem[static_cast<std::size_t>(v)] =
+            static_cast<int>(g.out_degree(v));
+        in_rem[static_cast<std::size_t>(v)] = static_cast<int>(g.in_degree(v));
+        placed[static_cast<std::size_t>(v)] = false;
+      }
+      sequence.clear();
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t b = bucket_of(p);
+        weights.resize(remaining.size());
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          const auto v = static_cast<std::size_t>(remaining[i]);
+          weights[i] = tau_pow[v * buckets + b] *
+                       pow_table[static_cast<std::size_t>(out_rem[v])] /
+                       pow_table[static_cast<std::size_t>(in_rem[v])];
+        }
+        const std::size_t pick = rng.weighted_index(weights);
+        const VertexId v = remaining[pick];
+        sequence.push_back(v);
+        placed[static_cast<std::size_t>(v)] = true;
+        remaining[pick] = remaining.back();
+        remaining.pop_back();
+        for (const auto w : g.successors(v)) {
+          if (!placed[static_cast<std::size_t>(w)]) {
+            --in_rem[static_cast<std::size_t>(w)];
+          }
+        }
+        for (const auto w : g.predecessors(v)) {
+          if (!placed[static_cast<std::size_t>(w)]) {
+            --out_rem[static_cast<std::size_t>(w)];
+          }
+        }
+      }
+      const std::size_t cost = count_backward(g, sequence, position);
+      if (!have_tour_best || cost < tour_best_cost) {
+        have_tour_best = true;
+        tour_best_cost = cost;
+        tour_best = sequence;
+      }
+    }
+    // Strict improvement only, so the greedy elite survives ties and the
+    // returned count never exceeds greedy's.
+    if (have_tour_best && tour_best_cost < best_cost) {
+      best_cost = tour_best_cost;
+      best = tour_best;
+    }
+    if (best_cost == 0) break;
+    for (auto& t : tau) t *= (1.0 - options.rho);
+    // The global best (the greedy elite until an ant beats it) deposits,
+    // weighted by 1 / (1 + reversals) — fewer reversals, stronger trail.
+    const double amount =
+        options.deposit / (1.0 + static_cast<double>(best_cost));
+    for (std::size_t p = 0; p < n; ++p) {
+      tau[static_cast<std::size_t>(best[p]) * buckets + bucket_of(p)] +=
+          amount;
+    }
+  }
+  return best;
+}
+
+AcyclicResult make_acyclic_aco(const Digraph& g, const FasOptions& options) {
+  return orient_by_order(g, aco_fas_order(g, options));
+}
+
+}  // namespace acolay::graph

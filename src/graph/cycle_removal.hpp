@@ -1,0 +1,89 @@
+// Feedback-arc-set heuristics — "Phase 0" of every solve path that admits
+// cyclic digraphs (core::CyclePolicy), and step 1 of the Sugiyama pipeline.
+//
+// The layering algorithms (paper §II) require a DAG; arbitrary digraphs
+// are made acyclic by reversing a small feedback arc set. Two searches are
+// offered over the same representation — a linear vertex sequence whose
+// backward edges (later position -> earlier-or-equal position) form the
+// arc set:
+//
+//   greedy_fas_order  — the Eades–Lin–Smyth greedy heuristic (linear time,
+//                       FAS <= |E|/2 - |V|/6 on 2-cycle-free digraphs);
+//   aco_fas_order     — an ACO-guided search over vertex sequences (the
+//                       sequence position is the induced layer, so edges
+//                       pointing to an earlier-or-equal layer get
+//                       reversed; pheromone deposits are weighted by
+//                       1/(1 + reversals), rewarding smaller arc sets).
+//                       The greedy sequence seeds the search as an elite
+//                       candidate, so its reversal count never exceeds
+//                       greedy's.
+//
+// Both are deterministic: pure functions of (graph, options) with a single
+// serial RNG stream, so the reversal set is bit-identical across reruns
+// and independent of any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace acolay::graph {
+
+struct AcyclicResult {
+  /// The input graph with the feedback edges reversed (attributes kept).
+  Digraph dag;
+  /// The original (pre-reversal) edges that were reversed. When the input
+  /// holds an antiparallel pair {u->v, v->u}, reversing one of them folds
+  /// into the surviving duplicate (Digraph::add_edge rejects duplicates),
+  /// so the dag can have fewer edges than the input.
+  std::vector<Edge> reversed_edges;
+};
+
+/// Greedy-FAS vertex sequence (Eades–Lin–Smyth): edges pointing backwards
+/// in this sequence form the feedback arc set.
+std::vector<VertexId> greedy_fas_order(const Digraph& g);
+
+/// Reverses the feedback arc set induced by greedy_fas_order. The result's
+/// dag is always acyclic; self-loops are contract violations of Digraph and
+/// cannot occur. Already-acyclic inputs come back unchanged (no reversals).
+AcyclicResult make_acyclic(const Digraph& g);
+
+/// Tunables of the ACO-guided FAS search. Defaults are sized so Phase 0
+/// stays a small fraction of the colony run that follows it.
+struct FasOptions {
+  int num_ants = 8;    ///< sequence constructions per tour
+  int num_tours = 12;  ///< evaporation/deposit rounds
+
+  double alpha = 1.0;  ///< pheromone exponent
+  double beta = 2.0;   ///< heuristic exponent (eta favours source-like
+                       ///< vertices early in the sequence)
+  double rho = 0.3;    ///< evaporation rate: tau *= (1 - rho) per tour
+  double tau0 = 1.0;   ///< initial pheromone
+  /// Deposit scale; the global-best sequence adds
+  /// deposit / (1 + reversals) to each of its (vertex, bucket) couplings —
+  /// the weighted objective term that rewards fewer reversals.
+  double deposit = 1.0;
+
+  /// Root RNG seed (single serial stream; thread-count invariant).
+  std::uint64_t seed = 1;
+
+  /// Vertex count above which the search falls back to the greedy order
+  /// alone (sequence construction is O(n^2) per ant; the elite seeding
+  /// makes the fallback exact-equal to make_acyclic, never worse).
+  std::size_t max_aco_vertices = 512;
+};
+
+/// ACO-guided FAS vertex sequence: minimizes the number of backward edges
+/// over sampled sequences, never worse than greedy_fas_order's count
+/// (the greedy sequence is the elite seed). Deterministic in (g, options).
+std::vector<VertexId> aco_fas_order(const Digraph& g,
+                                    const FasOptions& options);
+
+/// Reverses the feedback arc set induced by aco_fas_order — the
+/// CyclePolicy::kAcoFas counterpart of make_acyclic. Already-acyclic
+/// inputs come back unchanged (no reversals).
+AcyclicResult make_acyclic_aco(const Digraph& g,
+                               const FasOptions& options = {});
+
+}  // namespace acolay::graph

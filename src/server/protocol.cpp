@@ -388,6 +388,20 @@ core::AdmissionError parse_request_line(std::string_view line,
         return AdmissionError::kBadRequest;
       }
       out.warm = value.as_bool();
+    } else if (key == "cycle_policy") {
+      const std::string* word =
+          value.is_string() ? &value.as_string() : nullptr;
+      if (word != nullptr && *word == "reject") {
+        out.cycle_policy = core::CyclePolicy::kReject;
+      } else if (word != nullptr && *word == "greedy_reverse") {
+        out.cycle_policy = core::CyclePolicy::kGreedyReverse;
+      } else if (word != nullptr && *word == "aco_fas") {
+        out.cycle_policy = core::CyclePolicy::kAcoFas;
+      } else {
+        message = "\"cycle_policy\" must be one of \"reject\", "
+                  "\"greedy_reverse\", \"aco_fas\"";
+        return AdmissionError::kBadRequest;
+      }
     } else {
       message = "unknown request key \"" + key + "\"";
       return AdmissionError::kBadRequest;
@@ -403,8 +417,8 @@ core::AdmissionError parse_request_line(std::string_view line,
   // the request that established the referenced state, not to the edit.
   if (stats_spec) {
     if (graph_spec != nullptr || params_spec != nullptr ||
-        delta_spec != nullptr || out.warm || out.priority != 0 ||
-        out.deadline_seconds != 0.0) {
+        delta_spec != nullptr || out.warm || out.cycle_policy.has_value() ||
+        out.priority != 0 || out.deadline_seconds != 0.0) {
       message = "a stats frame carries exactly \"id\" and \"stats\"";
       return AdmissionError::kBadRequest;
     }
@@ -413,7 +427,8 @@ core::AdmissionError parse_request_line(std::string_view line,
   }
   if (delta_spec != nullptr) {
     if (graph_spec != nullptr || params_spec != nullptr || out.warm ||
-        out.priority != 0 || out.deadline_seconds != 0.0) {
+        out.cycle_policy.has_value() || out.priority != 0 ||
+        out.deadline_seconds != 0.0) {
       message = "a delta frame carries exactly \"id\" and \"delta\"";
       return AdmissionError::kBadRequest;
     }
@@ -453,7 +468,8 @@ core::AdmissionError parse_request_line(std::string_view line,
 std::string render_result_response(const std::string& id,
                                    const core::AcoResult& result,
                                    bool deduped, double seconds,
-                                   std::optional<std::uint64_t> fingerprint) {
+                                   std::optional<std::uint64_t> fingerprint,
+                                   std::span<const graph::Edge> reversed_edges) {
   io::JsonWriter w;
   w.begin_object();
   w.kv("schema", std::string(kServeSchema));
@@ -463,6 +479,13 @@ std::string render_result_response(const std::string& id,
   w.key("layering").raw(io::to_json(result.layering));
   w.key("metrics").raw(io::to_json(result.metrics));
   w.kv("initial_objective", result.initial_objective);
+  if (!reversed_edges.empty()) {
+    w.key("reversed_edges").begin_array();
+    for (const auto& [u, v] : reversed_edges) {
+      w.begin_array().value(u).value(v).end_array();
+    }
+    w.end_array();
+  }
   if (fingerprint) w.kv("fingerprint", fingerprint_hex(*fingerprint));
   if (seconds >= 0.0) w.kv("seconds", seconds);
   w.end_object();

@@ -9,7 +9,11 @@
 //    "params": {...},                           // optional AcoParams subset
 //    "deadline_seconds": 0.25,                  // optional, relative
 //    "priority": 3,                             // optional, default 0
-//    "warm": true}                              // optional warm-tau opt-in
+//    "warm": true,                              // optional warm-tau opt-in
+//    "cycle_policy": "greedy_reverse"}          // optional; "reject" |
+//                                               // "greedy_reverse" |
+//                                               // "aco_fas" (default: the
+//                                               // server's --cycle-policy)
 //
 // Delta request frame (incremental re-layering; exactly "id" + "delta"):
 //   {"id": "...",
@@ -26,6 +30,9 @@
 // Response frame (schema-versioned; see kServeSchema):
 //   {"schema": "...", "id": "...", "status": "ok", "deduped": false,
 //    "layering": {...}, "metrics": {...}
+//    [, "reversed_edges": [[u, v], ...]]        // original orientations;
+//                                               // only when Phase 0
+//                                               // reversed anything
 //    [, "fingerprint": "<16-hex>"][, "seconds": ...]}
 //   {"schema": "...", "id": "...", "status": "rejected",
 //    "error": "<admission_error_code>", "message": "..."}
@@ -43,6 +50,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -89,6 +97,9 @@ struct ParsedRequest {
   double deadline_seconds = 0.0;  ///< relative deadline; <= 0 means none
   int priority = 0;               ///< queue priority (higher first)
   bool warm = false;              ///< warm-pheromone opt-in
+  /// Cycle policy from the frame's "cycle_policy" key; nullopt when the
+  /// frame carried none (the session substitutes the server default).
+  std::optional<core::CyclePolicy> cycle_policy;
   std::uint64_t base_fingerprint = 0;  ///< kDelta: the referenced state
   graph::GraphDelta delta;             ///< kDelta: the edit itself
 };
@@ -108,9 +119,13 @@ core::AdmissionError parse_request_line(std::string_view line,
 /// byte-stable output, so timing is opt-in (ServeOptions::include_timing).
 /// `fingerprint` present attaches the delta-addressable state id (warm
 /// solves and delta updates); nullopt omits the key (cold solves).
+/// `reversed_edges` (Phase 0's feedback arc set, original orientations)
+/// is rendered only when non-empty, so DAG responses are byte-identical
+/// to the pre-cycle-policy wire format.
 std::string render_result_response(
     const std::string& id, const core::AcoResult& result, bool deduped,
-    double seconds, std::optional<std::uint64_t> fingerprint = std::nullopt);
+    double seconds, std::optional<std::uint64_t> fingerprint = std::nullopt,
+    std::span<const graph::Edge> reversed_edges = {});
 
 /// Renders the rejection response for `id` (one line, no trailing
 /// newline).

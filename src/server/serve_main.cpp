@@ -39,6 +39,9 @@ int usage(std::ostream& out, int exit_code) {
          "  --max-incremental-sessions N\n"
          "                    live delta sessions kept, FIFO-evicted; 0\n"
          "                    disables delta frames (default 8)\n"
+         "  --cycle-policy P  default handling of cyclic graphs for frames\n"
+         "                    without a \"cycle_policy\" key: reject |\n"
+         "                    greedy_reverse | aco_fas (default reject)\n"
          "  --timing          include wall-clock seconds in responses\n"
          "  --no-dedup        disable duplicate-request collapsing\n"
          "  --no-warm         disable warm pheromone reuse\n"
@@ -143,6 +146,21 @@ int main(int argc, char** argv) {
       if (!take_value(value)) return missing_value();
       if (!parse_size(value, options.result_cache_capacity)) {
         return bad_value(value);
+      }
+    } else if (arg == "--cycle-policy") {
+      std::string_view value;
+      if (!take_value(value)) return missing_value();
+      if (value == "reject") {
+        options.default_cycle_policy = acolay::core::CyclePolicy::kReject;
+      } else if (value == "greedy_reverse") {
+        options.default_cycle_policy =
+            acolay::core::CyclePolicy::kGreedyReverse;
+      } else if (value == "aco_fas") {
+        options.default_cycle_policy = acolay::core::CyclePolicy::kAcoFas;
+      } else {
+        std::cerr << "acolay_serve: bad value '" << value << "' for '" << arg
+                  << "' (expected reject, greedy_reverse or aco_fas)\n";
+        return usage(std::cerr, 2);
       }
     } else if (arg == "--max-incremental-sessions") {
       std::string_view value;

@@ -160,6 +160,8 @@ void Server::push_line(std::string_view line) {
   core::SolveRequest probe;
   probe.graph = &parsed.graph;
   probe.params = parsed.params;
+  probe.cycle_policy =
+      parsed.cycle_policy.value_or(options_.default_cycle_policy);
   const AdmissionError gate_error = core::validate_request(probe, &message);
   if (gate_error != AdmissionError::kNone) {
     ++stats_.rejected_invalid;
@@ -179,6 +181,7 @@ void Server::push_line(std::string_view line) {
 
   entry.graph = std::move(parsed.graph);
   entry.params = parsed.params;
+  entry.cycle_policy = probe.cycle_policy;
   entry.priority = parsed.priority;
   entry.warm = parsed.warm && options_.enable_warm;
   // Warm responses carry the fingerprint: it is the handle a later delta
@@ -219,11 +222,17 @@ void Server::handle_delta(Entry& entry, ParsedRequest& parsed) {
       // Updates run inline on the session thread; bit-identity across
       // thread counts makes the serial choice invisible in the results.
       params.num_threads = 1;
+      // The session inherits the establishing solve's cycle policy, so a
+      // cycle-introducing delta is handled the way that solve was (and a
+      // cyclic warm graph re-derives the same Phase 0 reversal — same
+      // graph, same policy, same seed).
+      core::IncrementalOptions inc_options;
+      inc_options.cycle_policy = slot.cycle_policy;
       sessions_.emplace_back();
       session = &sessions_.back();
       session->fingerprint = slot.fingerprint;
-      session->solver =
-          std::make_unique<core::IncrementalSolver>(slot.graph, params);
+      session->solver = std::make_unique<core::IncrementalSolver>(
+          slot.graph, params, inc_options);
       session->solver->adopt(slot.tau, slot.best);
       ++stats_.incremental_sessions;
       break;
@@ -269,6 +278,7 @@ bool Server::try_dedup(std::size_t index) {
   for (const CacheSlot& slot : cache_) {
     if (slot.fingerprint == entry.fingerprint &&
         slot.params == entry.params &&
+        slot.cycle_policy == entry.cycle_policy &&
         same_solve_input(slot.graph, entry.graph)) {
       entry.outcome = slot.outcome;
       entry.deduped = true;
@@ -281,6 +291,7 @@ bool Server::try_dedup(std::size_t index) {
     const Entry& lead = entries_[leader];
     if (lead.warm || lead.fingerprint != entry.fingerprint) continue;
     if (lead.params == entry.params &&
+        lead.cycle_policy == entry.cycle_policy &&
         same_solve_input(lead.graph, entry.graph)) {
       entry.leader = leader;
       entry.deduped = true;
@@ -315,6 +326,7 @@ bool Server::dispatch() {
     core::SolveRequest request;
     request.graph = &entry.graph;
     request.params = entry.params;
+    request.cycle_policy = entry.cycle_policy;
     if (entry.warm) {
       // One in-flight warm run per fingerprint: the matrix is written back
       // by the worker, so a second concurrent warm run on the same slot
@@ -356,6 +368,7 @@ bool Server::harvest() {
         slot.graph = entry.graph;
         slot.best = entry.outcome.result.layering;
         slot.params = entry.params;
+        slot.cycle_policy = entry.cycle_policy;
         slot.has_state = true;
       }
     }
@@ -372,6 +385,7 @@ bool Server::harvest() {
       slot.fingerprint = entry.fingerprint;
       slot.graph = entry.graph;
       slot.params = entry.params;
+      slot.cycle_policy = entry.cycle_policy;
       slot.outcome = entry.outcome;
       cache_.push_back(std::move(slot));
     }
@@ -404,7 +418,8 @@ bool Server::emit() {
       responses_.push_back(render_result_response(
           entry.id, entry.outcome.result, entry.deduped, seconds,
           entry.report_fingerprint ? std::optional(entry.fingerprint)
-                                   : std::nullopt));
+                                   : std::nullopt,
+          entry.outcome.reversed_edges));
     } else {
       responses_.push_back(render_error_response(entry.id, entry.outcome.error,
                                                  entry.outcome.message));

@@ -106,6 +106,12 @@ struct ServeOptions {
   bool include_timing = false;
   /// Worker threads of the embedded BatchSolver; 0 = hardware concurrency.
   int num_threads = 0;
+  /// Cycle policy for solve frames that carry no "cycle_policy" key
+  /// (--cycle-policy). The default keeps cyclic graphs rejected with
+  /// `cycle`, so existing transcripts are untouched. A frame's explicit
+  /// key always wins; delta sessions inherit the policy of the warm solve
+  /// that established their state.
+  core::CyclePolicy default_cycle_policy = core::CyclePolicy::kReject;
   /// Deadline clock; null uses a steady-clock stopwatch started at
   /// construction.
   ClockFn clock;
@@ -204,6 +210,10 @@ class Server {
     int priority = 0;
     bool warm = false;
     bool warm_attached = false;  ///< this entry holds its slot's busy flag
+    /// Resolved cycle policy (frame key, else the server default). Part
+    /// of the dedup identity: the same cyclic graph solves to different
+    /// results under different policies.
+    core::CyclePolicy cycle_policy = core::CyclePolicy::kReject;
     std::uint64_t fingerprint = 0;
     /// Attach "fingerprint" to the ok response (warm solves and delta
     /// updates — the delta-addressable states).
@@ -221,6 +231,7 @@ class Server {
     std::uint64_t fingerprint = 0;
     graph::Digraph graph;
     core::AcoParams params;
+    core::CyclePolicy cycle_policy = core::CyclePolicy::kReject;
     core::SolveOutcome outcome;
   };
 
@@ -236,6 +247,9 @@ class Server {
     graph::Digraph graph;        ///< graph of the last completed warm solve
     layering::Layering best;     ///< its best layering
     core::AcoParams params;      ///< its params (inherited by sessions)
+    /// Its cycle policy (inherited by sessions, so a delta that introduces
+    /// a cycle is handled the way the establishing solve was).
+    core::CyclePolicy cycle_policy = core::CyclePolicy::kReject;
   };
 
   /// One live incremental chain, keyed by its CURRENT fingerprint (each

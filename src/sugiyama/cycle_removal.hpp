@@ -1,29 +1,17 @@
-// Cycle removal — step 1 of the Sugiyama framework [12]. The layering
-// algorithms (paper §II) require a DAG; arbitrary digraphs are made acyclic
-// by reversing a small feedback arc set, found with the Eades–Lin–Smyth
-// greedy heuristic (linear time, FAS <= |E|/2 - |V|/6).
+// Cycle removal — step 1 of the Sugiyama framework [12].
+//
+// The implementation lives in graph/cycle_removal.* since the FAS pass was
+// promoted into the core solve path ("Phase 0", core::CyclePolicy); this
+// header keeps the historical sugiyama:: spelling for the pipeline and its
+// callers.
 #pragma once
 
-#include <vector>
-
-#include "graph/digraph.hpp"
+#include "graph/cycle_removal.hpp"
 
 namespace acolay::sugiyama {
 
-struct AcyclicResult {
-  /// The input graph with the feedback edges reversed (attributes kept).
-  graph::Digraph dag;
-  /// The original (pre-reversal) edges that were reversed.
-  std::vector<graph::Edge> reversed_edges;
-};
-
-/// Greedy-FAS vertex sequence: edges pointing backwards in this sequence
-/// form the feedback arc set.
-std::vector<graph::VertexId> greedy_fas_order(const graph::Digraph& g);
-
-/// Reverses the feedback arc set induced by greedy_fas_order. The result's
-/// dag is always acyclic; self-loops are contract violations of Digraph and
-/// cannot occur. Already-acyclic inputs come back unchanged (no reversals).
-AcyclicResult make_acyclic(const graph::Digraph& g);
+using AcyclicResult = graph::AcyclicResult;
+using graph::greedy_fas_order;
+using graph::make_acyclic;
 
 }  // namespace acolay::sugiyama

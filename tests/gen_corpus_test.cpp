@@ -61,6 +61,52 @@ TEST(RandomLayeredDag, IsDagWithBoundedDepth) {
   EXPECT_LE(graph::dag_depth(g), 4);
 }
 
+TEST(PlantedCycles, PlantsExactlyTheRequestedCycles) {
+  support::Rng rng(11);
+  PlantedCycleParams params;
+  params.base.num_vertices = 20;
+  params.base.num_edges = 30;
+  params.num_cycles = 4;
+  params.cycle_length = 3;
+  const auto planted = random_planted_cycles(params, rng);
+  EXPECT_EQ(planted.graph.num_vertices(), 20u + 4u * 3u);
+  EXPECT_EQ(planted.min_fas, 4u);
+  EXPECT_EQ(planted.back_edges.size(), 4u);
+  EXPECT_FALSE(graph::is_dag(planted.graph));
+  // The recorded back edges are the ground truth: removing exactly them
+  // restores acyclicity (so min FAS <= planted count; vertex-disjointness
+  // of the cycles gives >=, making the count exact).
+  auto g = planted.graph;
+  for (const auto& [u, v] : planted.back_edges) g.remove_edge(u, v);
+  EXPECT_TRUE(graph::is_dag(g));
+}
+
+TEST(PlantedCycles, LongerCyclesAndNoBaseWork) {
+  support::Rng rng(12);
+  PlantedCycleParams params;
+  params.base.num_vertices = 0;
+  params.base.num_edges = 0;
+  params.num_cycles = 3;
+  params.cycle_length = 5;
+  const auto planted = random_planted_cycles(params, rng);
+  EXPECT_EQ(planted.graph.num_vertices(), 15u);
+  EXPECT_EQ(planted.graph.num_edges(), 15u);  // 5 per cycle, no anchors
+  EXPECT_EQ(planted.min_fas, 3u);
+  EXPECT_FALSE(graph::is_dag(planted.graph));
+}
+
+TEST(PlantedCycles, DeterministicInSeed) {
+  PlantedCycleParams params;
+  params.base.num_vertices = 12;
+  params.base.num_edges = 16;
+  params.num_cycles = 2;
+  support::Rng a(99), b(99);
+  const auto x = random_planted_cycles(params, a);
+  const auto y = random_planted_cycles(params, b);
+  EXPECT_EQ(x.graph, y.graph);
+  EXPECT_EQ(x.back_edges, y.back_edges);
+}
+
 TEST(RandomTreeDag, HasSingleSourceAndTreeEdges) {
   support::Rng rng(5);
   const auto g = random_tree_dag(25, rng);

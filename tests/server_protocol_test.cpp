@@ -296,6 +296,81 @@ TEST(ServerProtocol, ResultResponseCarriesTheOptionalFingerprint) {
   EXPECT_EQ(without_doc->find("fingerprint"), nullptr);
 }
 
+TEST(ServerProtocol, ParsesTheCyclePolicyKey) {
+  ParsedRequest request;
+  std::string message;
+
+  // No key: nullopt, so the session substitutes the server default.
+  ASSERT_EQ(parse(kDiamondFrame, request, message), AdmissionError::kNone);
+  EXPECT_FALSE(request.cycle_policy.has_value());
+
+  const std::pair<const char*, core::CyclePolicy> cases[] = {
+      {"reject", core::CyclePolicy::kReject},
+      {"greedy_reverse", core::CyclePolicy::kGreedyReverse},
+      {"aco_fas", core::CyclePolicy::kAcoFas},
+  };
+  for (const auto& [name, want] : cases) {
+    const std::string line =
+        std::string(R"({"id": "c1", "graph": {"num_vertices": 2,)"
+                    R"( "edges": [[1, 0]]}, "cycle_policy": ")") +
+        name + R"("})";
+    ParsedRequest parsed;
+    ASSERT_EQ(parse(line, parsed, message), AdmissionError::kNone)
+        << line << ": " << message;
+    ASSERT_TRUE(parsed.cycle_policy.has_value());
+    EXPECT_EQ(*parsed.cycle_policy, want);
+  }
+}
+
+TEST(ServerProtocol, RejectsBadCyclePolicyValues) {
+  ParsedRequest request;
+  std::string message;
+  // Unknown name.
+  EXPECT_EQ(parse(R"({"id": "c2", "graph": {"num_vertices": 2,)"
+                  R"( "edges": [[1, 0]]}, "cycle_policy": "shuffle"})",
+                  request, message),
+            AdmissionError::kBadRequest);
+  EXPECT_NE(message.find("cycle_policy"), std::string::npos);
+  // Wrong type.
+  EXPECT_EQ(parse(R"({"id": "c3", "graph": {"num_vertices": 2,)"
+                  R"( "edges": [[1, 0]]}, "cycle_policy": 1})",
+                  request, message),
+            AdmissionError::kBadRequest);
+  // Delta and stats frames carry no cycle policy (the session's policy is
+  // fixed at warm-solve time; stats never touch the solver).
+  EXPECT_EQ(parse(R"({"id": "c4", "cycle_policy": "reject",)"
+                  R"( "delta": {"base": "0123456789abcdef"}})",
+                  request, message),
+            AdmissionError::kBadRequest);
+  EXPECT_EQ(parse(R"({"id": "c5", "stats": true,)"
+                  R"( "cycle_policy": "reject"})",
+                  request, message),
+            AdmissionError::kBadRequest);
+}
+
+TEST(ServerProtocol, ResultResponseRendersReversedEdgesOnlyWhenPresent) {
+  core::AcoResult result;
+  result.layering = layering::Layering(3);
+  const std::vector<graph::Edge> reversed = {{2, 0}, {1, 2}};
+  const std::string with = render_result_response(
+      "r1", result, false, -1, std::nullopt, reversed);
+  const auto with_doc = io::parse_json(with);
+  ASSERT_TRUE(with_doc.has_value());
+  const io::JsonValue* arr = with_doc->find("reversed_edges");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), 2u);
+  EXPECT_EQ((*arr)[0][0].as_int64(), 2);
+  EXPECT_EQ((*arr)[0][1].as_int64(), 0);
+  EXPECT_EQ((*arr)[1][0].as_int64(), 1);
+  EXPECT_EQ((*arr)[1][1].as_int64(), 2);
+
+  // An empty reversal set renders byte-identically to the pre-cycle-policy
+  // format: no key at all.
+  const std::string without = render_result_response("r1", result, false, -1);
+  EXPECT_EQ(io::parse_json(without)->find("reversed_edges"), nullptr);
+  EXPECT_EQ(without.find("reversed_edges"), std::string::npos);
+}
+
 TEST(ServerProtocolFuzz, MutatedFramesNeverThrow) {
   support::Rng rng(0xd1ceULL);
   const std::string base = kDiamondFrame;

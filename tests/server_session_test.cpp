@@ -41,6 +41,7 @@ struct FrameOpts {
   double deadline = 0.0;
   int priority = 0;
   bool warm = false;
+  std::string cycle_policy = {};  // empty = omit the key (server default)
 };
 
 /// Renders a wire request frame for `g`. Edge order on the wire is
@@ -74,6 +75,7 @@ std::string frame(const std::string& id, const graph::Digraph& g,
   if (opts.deadline > 0.0) w.kv("deadline_seconds", opts.deadline);
   if (opts.priority != 0) w.kv("priority", opts.priority);
   if (opts.warm) w.kv("warm", true);
+  if (!opts.cycle_policy.empty()) w.kv("cycle_policy", opts.cycle_policy);
   w.end_object();
   return w.str();
 }
@@ -606,6 +608,191 @@ TEST(ServerSession, TimingOptInAddsSecondsWithoutChangingTheRest) {
   const io::JsonValue doc = parse_response(responses[0]);
   ASSERT_NE(doc.find("seconds"), nullptr);
   EXPECT_GE(doc.find("seconds")->as_double(), 0.0);
+}
+
+/// A cyclic wire graph: the 3-cycle 0 -> 1 -> 2 -> 0 under a small DAG
+/// tail, edges already in source-major (wire-normalized) order.
+graph::Digraph wire_cyclic_graph() {
+  graph::Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  return g;
+}
+
+TEST(ServerSessionCycles, CyclicFrameRejectedByDefaultAdmittedPerPolicy) {
+  const auto g = wire_cyclic_graph();
+  Server server(with_threads(1));
+  server.push_line(frame("bare", g, 3, 9));
+  server.push_line(frame("explicit-reject", g, 3, 9,
+                         FrameOpts{.cycle_policy = "reject"}));
+  server.push_line(frame("greedy", g, 3, 9,
+                         FrameOpts{.cycle_policy = "greedy_reverse"}));
+  server.push_line(frame("aco", g, 3, 9,
+                         FrameOpts{.cycle_policy = "aco_fas"}));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 4u);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const io::JsonValue doc = parse_response(responses[i]);
+    EXPECT_EQ(doc.find("status")->as_string(), "rejected") << responses[i];
+    EXPECT_EQ(doc.find("error")->as_string(), "cycle");
+  }
+  for (std::size_t i = 2; i < 4; ++i) {
+    const io::JsonValue doc = parse_response(responses[i]);
+    ASSERT_EQ(doc.find("status")->as_string(), "ok") << responses[i];
+    const io::JsonValue* reversed = doc.find("reversed_edges");
+    ASSERT_NE(reversed, nullptr) << responses[i];
+    EXPECT_GE(reversed->size(), 1u);
+  }
+
+  // The served greedy response is bit-identical to the direct solve.
+  core::AcoParams params;
+  params.num_tours = 3;
+  params.seed = 9;
+  core::SolveRequest request;
+  request.graph = &g;
+  request.params = params;
+  request.cycle_policy = core::CyclePolicy::kGreedyReverse;
+  const auto direct = core::solve(request);
+  ASSERT_TRUE(direct.ok());
+  const io::JsonValue greedy = parse_response(responses[2]);
+  const io::JsonValue* layers = greedy.find("layering")->find("layers");
+  ASSERT_EQ(layers->size(), direct.result.layering.num_vertices());
+  for (std::size_t v = 0; v < layers->size(); ++v) {
+    EXPECT_EQ((*layers)[v].as_int64(),
+              direct.result.layering.layer(static_cast<graph::VertexId>(v)));
+  }
+  const io::JsonValue* reversed = greedy.find("reversed_edges");
+  ASSERT_EQ(reversed->size(), direct.reversed_edges.size());
+  for (std::size_t i = 0; i < reversed->size(); ++i) {
+    EXPECT_EQ((*reversed)[i][0].as_int64(), direct.reversed_edges[i].source);
+    EXPECT_EQ((*reversed)[i][1].as_int64(), direct.reversed_edges[i].target);
+  }
+}
+
+TEST(ServerSessionCycles, AcyclicResponsesNeverCarryReversedEdges) {
+  // Byte-stability of the pre-cycle-policy wire format: a DAG solve emits
+  // no "reversed_edges" key even under an admitting policy.
+  Server server(with_threads(1));
+  server.push_line(frame("dag", test::small_dag(), 3, 7,
+                         FrameOpts{.cycle_policy = "greedy_reverse"}));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  ASSERT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_EQ(doc.find("reversed_edges"), nullptr);
+}
+
+TEST(ServerSessionCycles, ServerDefaultPolicyAppliesToBareFrames) {
+  ServeOptions options = with_threads(1);
+  options.default_cycle_policy = core::CyclePolicy::kGreedyReverse;
+  Server server(options);
+  const auto g = wire_cyclic_graph();
+  server.push_line(frame("bare", g, 3, 9));
+  // The frame's own key always wins over the server default.
+  server.push_line(frame("explicit-reject", g, 3, 9,
+                         FrameOpts{.cycle_policy = "reject"}));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 2u);
+  const io::JsonValue bare = parse_response(responses[0]);
+  ASSERT_EQ(bare.find("status")->as_string(), "ok") << responses[0];
+  EXPECT_NE(bare.find("reversed_edges"), nullptr);
+  const io::JsonValue explicit_reject = parse_response(responses[1]);
+  EXPECT_EQ(explicit_reject.find("status")->as_string(), "rejected");
+  EXPECT_EQ(explicit_reject.find("error")->as_string(), "cycle");
+}
+
+TEST(ServerSessionCycles, DedupKeepsPoliciesApart) {
+  // Same graph, same params, different cycle policy: the reversal pass
+  // differs, so these are distinct requests and must not share a result.
+  const auto g = wire_cyclic_graph();
+  Server server(with_threads(1));
+  server.push_line(frame("g1", g, 3, 9,
+                         FrameOpts{.cycle_policy = "greedy_reverse"}));
+  server.push_line(frame("g2", g, 3, 9,
+                         FrameOpts{.cycle_policy = "greedy_reverse"}));
+  server.push_line(frame("a1", g, 3, 9,
+                         FrameOpts{.cycle_policy = "aco_fas"}));
+  server.drain();
+  const auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(parse_response(responses[0]).find("deduped")->as_bool());
+  EXPECT_TRUE(parse_response(responses[1]).find("deduped")->as_bool());
+  EXPECT_FALSE(parse_response(responses[2]).find("deduped")->as_bool());
+  // The deduped clone carries the leader's reversal report.
+  EXPECT_NE(parse_response(responses[1]).find("reversed_edges"), nullptr);
+}
+
+TEST(ServerSessionCycles, CycleIntroducingDeltaFollowsTheSessionPolicy) {
+  // A warm solve under an admitting policy seeds a delta session that
+  // inherits the policy: an edge closing a cycle is re-broken, reported,
+  // and the chain continues. Under the default policy the same delta is
+  // a structured "cycle" rejection (pinned by RejectedDeltaLeavesTheSessionUsable).
+  const graph::Digraph g = wire_normalized(test::small_dag());
+  Server server(with_threads(1));
+  server.push_line(frame("w1", g, 3, 21,
+                         FrameOpts{.warm = true,
+                                   .cycle_policy = "greedy_reverse"}));
+  server.drain();
+  auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue warm_doc = parse_response(responses[0]);
+  ASSERT_EQ(warm_doc.find("status")->as_string(), "ok");
+  const std::string fp0 = warm_doc.find("fingerprint")->as_string();
+
+  // small_dag has 2 -> 0; adding 0 -> 5 -> ... no: close a cycle with the
+  // existing path 5 -> 3 -> 2 by adding 2 -> 5.
+  graph::GraphDelta delta;
+  delta.add_edges.push_back(graph::Edge{2, 5});
+  server.push_line(delta_frame("d1", fp0, delta));
+  server.drain();
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  ASSERT_EQ(doc.find("status")->as_string(), "ok") << responses[0];
+  const io::JsonValue* reversed = doc.find("reversed_edges");
+  ASSERT_NE(reversed, nullptr);
+  EXPECT_GE(reversed->size(), 1u);
+  EXPECT_EQ(server.stats().delta_updates, 1u);
+
+  // The re-keyed chain keeps working on the reoriented graph.
+  const std::string fp1 = doc.find("fingerprint")->as_string();
+  EXPECT_NE(fp1, fp0);
+  graph::GraphDelta second;
+  second.set_widths.push_back(graph::WidthChange{0, 2.0});
+  server.push_line(delta_frame("d2", fp1, second));
+  server.drain();
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(status_of(responses[0]), "ok");
+}
+
+TEST(ServerSessionCycles, CycleIntroducingDeltaRejectedUnderDefaultPolicy) {
+  const graph::Digraph g = wire_normalized(test::small_dag());
+  Server server(with_threads(1));
+  server.push_line(frame("w1", g, 3, 21, FrameOpts{.warm = true}));
+  server.drain();
+  auto responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string fp0 =
+      parse_response(responses[0]).find("fingerprint")->as_string();
+
+  graph::GraphDelta delta;
+  delta.add_edges.push_back(graph::Edge{2, 5});
+  server.push_line(delta_frame("d1", fp0, delta));
+  server.drain();
+  responses = server.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const io::JsonValue doc = parse_response(responses[0]);
+  EXPECT_EQ(doc.find("status")->as_string(), "rejected");
+  EXPECT_EQ(doc.find("error")->as_string(), "cycle");
 }
 
 }  // namespace
